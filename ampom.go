@@ -1,0 +1,217 @@
+// Package ampom is a reproduction of "Lightweight Process Migration and
+// Memory Prefetching in openMosix" (Ho, Wang, Lau — IPDPS 2008): the AMPoM
+// adaptive prefetching algorithm, the lightweight migration mechanism it
+// rides on, and the openMosix-style substrate (deterministic cluster
+// simulator, remote paging protocol, oM_infoD monitoring daemon, HPCC
+// workload models) needed to regenerate every figure of the paper's
+// evaluation.
+//
+// This package is the public facade: it re-exports the stable surface of
+// the internal packages so applications can be written against one import.
+//
+//	w, _ := ampom.BuildWorkload(ampom.Entry{Kernel: ampom.STREAM, MemoryMB: 64}, 1)
+//	r, _ := ampom.Run(ampom.RunConfig{Workload: w, Scheme: ampom.SchemeAMPoM})
+//	fmt.Println(r.Freeze, r.Total, r.HardFaults)
+//
+// The deeper layers remain available for advanced use: the experiment
+// harness regenerates paper figures (NewCampaign), and the live emulation
+// (internal/emu) migrates real byte pages between TCP endpoints.
+package ampom
+
+import (
+	"ampom/internal/core"
+	"ampom/internal/emu"
+	"ampom/internal/harness"
+	"ampom/internal/hpcc"
+	"ampom/internal/memory"
+	"ampom/internal/migrate"
+	"ampom/internal/netmodel"
+	"ampom/internal/sched"
+	"ampom/internal/simtime"
+)
+
+// Core aliases: virtual time and the AMPoM algorithm.
+type (
+	// Time is an instant of virtual time (nanoseconds).
+	Time = simtime.Time
+	// Duration is a span of virtual time (nanoseconds).
+	Duration = simtime.Duration
+	// PageNum identifies a page within a process address space.
+	PageNum = memory.PageNum
+	// PrefetcherConfig tunes the AMPoM algorithm (window length, dmax,
+	// prefetch cap, read-ahead baseline).
+	PrefetcherConfig = core.Config
+	// Prefetcher is the per-process AMPoM engine.
+	Prefetcher = core.Prefetcher
+	// Analysis is one per-fault AMPoM decision.
+	Analysis = core.Analysis
+	// Estimates carries the monitoring daemon's measurements into Eq. 3.
+	Estimates = core.Estimates
+)
+
+// Workload aliases: the HPCC kernel models of the paper's evaluation.
+type (
+	// Kernel identifies an HPCC kernel (DGEMM, STREAM, RandomAccess, FFT).
+	Kernel = hpcc.Kernel
+	// Entry is one Table 1 row: kernel, problem size, memory footprint.
+	Entry = hpcc.Entry
+	// Workload is a built kernel run: layout, reference stream, compute.
+	Workload = hpcc.Workload
+)
+
+// The four kernels.
+const (
+	DGEMM        = hpcc.DGEMM
+	STREAM       = hpcc.STREAM
+	RandomAccess = hpcc.RandomAccess
+	FFT          = hpcc.FFT
+)
+
+// Experiment aliases: running migrations and reading results.
+type (
+	// Scheme selects the migration mechanism.
+	Scheme = migrate.Scheme
+	// RunConfig describes one migration experiment.
+	RunConfig = migrate.RunConfig
+	// Result carries a run's timings and fault census.
+	Result = migrate.Result
+	// Calibration holds the simulator's cost constants.
+	Calibration = migrate.Calibration
+	// NetworkProfile describes a link (latency, bandwidth).
+	NetworkProfile = netmodel.Profile
+)
+
+// The three migration schemes of the paper, plus the two baselines its
+// Figure 2 and related work describe.
+const (
+	SchemeOpenMosix     = migrate.OpenMosix
+	SchemeNoPrefetch    = migrate.NoPrefetch
+	SchemeAMPoM         = migrate.AMPoM
+	SchemeFFAFileServer = migrate.FFAFileServer
+	SchemePrecopy       = migrate.Precopy
+)
+
+// Schemes lists the paper's three evaluated schemes; AllSchemes adds the
+// FFA-with-file-server and precopy baselines.
+func Schemes() []Scheme    { return migrate.Schemes() }
+func AllSchemes() []Scheme { return migrate.AllSchemes() }
+
+// Campaign aliases: regenerating the paper's tables and figures.
+type (
+	// Campaign memoises an experiment matrix and renders figures.
+	Campaign = harness.Matrix
+	// CampaignConfig scopes a campaign (scale divisor, seed).
+	CampaignConfig = harness.Config
+	// FigureTable is a rendered experiment artefact.
+	FigureTable = harness.Table
+)
+
+// NewPrefetcher returns an AMPoM engine for an address space of totalPages
+// pages. A zero PrefetcherConfig takes the paper's defaults (l=20, dmax=4).
+func NewPrefetcher(cfg PrefetcherConfig, totalPages int64) (*Prefetcher, error) {
+	return core.New(cfg, totalPages)
+}
+
+// DefaultPrefetcherConfig returns the paper's AMPoM configuration.
+func DefaultPrefetcherConfig() PrefetcherConfig { return core.DefaultConfig() }
+
+// Catalogue returns the paper's Table 1 configurations.
+func Catalogue() []Entry { return hpcc.Catalogue() }
+
+// Kernels lists the four modelled HPCC kernels.
+func Kernels() []Kernel { return hpcc.Kernels() }
+
+// BuildWorkload materialises a kernel run. MemoryMB must be set; seed makes
+// stochastic kernels reproducible.
+func BuildWorkload(e Entry, seed uint64) (*Workload, error) { return hpcc.Build(e, seed) }
+
+// BuildWorkingSetWorkload builds the §5.6 modified DGEMM: allocMB allocated,
+// wsMB actually worked on.
+func BuildWorkingSetWorkload(allocMB, wsMB int64, seed uint64) (*Workload, error) {
+	return hpcc.BuildWorkingSet(allocMB, wsMB, seed)
+}
+
+// ScaleEntry shrinks a Table 1 entry by an integer divisor for quick runs.
+func ScaleEntry(e Entry, div int64) Entry { return hpcc.Scaled(e, div) }
+
+// Run executes one migration experiment on the simulated cluster.
+func Run(cfg RunConfig) (*Result, error) { return migrate.Run(cfg) }
+
+// FastEthernet returns the Gideon 300 testbed's network profile.
+func FastEthernet() NetworkProfile { return netmodel.FastEthernet() }
+
+// Broadband returns the paper's §5.5 tc-shaped 6 Mb/s / 2 ms profile.
+func Broadband() NetworkProfile { return netmodel.Broadband() }
+
+// ShapeNetwork applies tc-style traffic shaping to a profile.
+func ShapeNetwork(p NetworkProfile, bitsPerSecond float64, oneWayLatency Duration) NetworkProfile {
+	return netmodel.Shape(p, bitsPerSecond, oneWayLatency)
+}
+
+// NewCampaign returns an experiment campaign that regenerates the paper's
+// tables and figures. Scale 1 reproduces paper-scale runs; larger divisors
+// shrink footprints for quick exploration.
+func NewCampaign(cfg CampaignConfig) *Campaign { return harness.NewMatrix(cfg) }
+
+// Locality measures a workload's page-level spatial and temporal locality
+// (the Figure 4 axes).
+func Locality(w *Workload) (spatial, temporal float64) { return hpcc.Locality(w) }
+
+// Load-balancing study aliases (the paper's §7 outlook).
+type (
+	// BalancePolicy selects the migration cost model a load balancer uses.
+	BalancePolicy = sched.Policy
+	// BalanceConfig describes a load-balancing study.
+	BalanceConfig = sched.Config
+	// BalanceStats summarises a study.
+	BalanceStats = sched.Stats
+)
+
+// Load-balancing policies.
+const (
+	BalanceNone      = sched.NoMigration
+	BalanceOpenMosix = sched.OpenMosixCost
+	BalanceAMPoM     = sched.AMPoMCost
+)
+
+// SimulateBalancing runs the §7 load-balancing study under one policy.
+func SimulateBalancing(cfg BalanceConfig, p BalancePolicy) BalanceStats {
+	return sched.Simulate(cfg, p)
+}
+
+// CompareBalancing runs all three balancing policies on the same workload.
+func CompareBalancing(cfg BalanceConfig) [3]BalanceStats { return sched.Compare(cfg) }
+
+// Live emulation aliases: real TCP nodes moving real byte pages.
+type (
+	// LiveNode is a TCP-listening emulated cluster node.
+	LiveNode = emu.Node
+	// LiveProc is a process hosted on a LiveNode.
+	LiveProc = emu.Proc
+	// LiveOp is one instruction of a live process's program.
+	LiveOp = emu.Op
+	// LiveMigrateOptions configures a live migration.
+	LiveMigrateOptions = emu.MigrateOptions
+)
+
+// ListenLiveNode starts a live emulation node on addr.
+func ListenLiveNode(name, addr string) (*LiveNode, error) { return emu.Listen(name, addr) }
+
+// SpawnLiveProc creates a process with real byte pages on a live node.
+func SpawnLiveProc(n *LiveNode, pid, pages int, program []LiveOp, seed uint64) *LiveProc {
+	return emu.Spawn(n, pid, pages, program, seed)
+}
+
+// MigrateLive performs a live migration over TCP and blocks until the
+// migrant finishes, returning its final memory checksum.
+func MigrateLive(p *LiveProc, destAddr string, opts LiveMigrateOptions) (uint64, error) {
+	return emu.Migrate(p, destAddr, opts)
+}
+
+// SequentialLiveProgram builds a multi-pass sequential page program.
+func SequentialLiveProgram(pages, passes int) []LiveOp { return emu.SequentialProgram(pages, passes) }
+
+// StridedLiveProgram builds a strided page program.
+func StridedLiveProgram(pages, count, stride int) []LiveOp {
+	return emu.StridedProgram(pages, count, stride)
+}

@@ -1,0 +1,107 @@
+package ampom
+
+import (
+	"testing"
+
+	"ampom/internal/sim"
+)
+
+// newEngine is shared by the micro-benchmarks.
+func newEngine() *sim.Engine { return sim.New() }
+
+func TestFacadeQuickstart(t *testing.T) {
+	w, err := BuildWorkload(Entry{Kernel: STREAM, ProblemSize: 8, MemoryMB: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(RunConfig{Workload: w, Scheme: SchemeAMPoM, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Freeze <= 0 || r.Total <= r.Freeze {
+		t.Fatalf("degenerate result %+v", r)
+	}
+}
+
+func TestFacadeCatalogue(t *testing.T) {
+	if len(Catalogue()) != 18 {
+		t.Fatal("catalogue incomplete")
+	}
+	if len(Kernels()) != 4 {
+		t.Fatal("kernel list incomplete")
+	}
+}
+
+func TestFacadeSchemes(t *testing.T) {
+	w, err := BuildWorkload(ScaleEntry(Catalogue()[0], 16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevFreeze Duration
+	for i, s := range []Scheme{SchemeNoPrefetch, SchemeAMPoM, SchemeOpenMosix} {
+		r, err := Run(RunConfig{Workload: w, Scheme: s, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && r.Freeze <= prevFreeze {
+			t.Fatalf("freeze ordering violated at %v", s)
+		}
+		prevFreeze = r.Freeze
+	}
+}
+
+func TestFacadeNetworkShaping(t *testing.T) {
+	p := ShapeNetwork(FastEthernet(), 6e6, 2_000_000)
+	if p.BandwidthBps != 0.75e6 {
+		t.Fatalf("shaped profile = %+v", p)
+	}
+	if Broadband().BandwidthBps != 0.75e6 {
+		t.Fatal("broadband profile wrong")
+	}
+}
+
+func TestFacadePrefetcher(t *testing.T) {
+	p, err := NewPrefetcher(DefaultPrefetcherConfig(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p.RecordFault(PageNum(i), Time(i)*1_000_000, 1)
+	}
+	a := p.Analyze(Estimates{RTT: 20_000_000, PageTransfer: 400_000})
+	if a.Score != 1 || a.N == 0 {
+		t.Fatalf("sequential analysis = %+v", a)
+	}
+}
+
+func TestFacadeCampaign(t *testing.T) {
+	c := NewCampaign(CampaignConfig{Scale: 32, Seed: 3})
+	tab := c.Table1()
+	if len(tab.Rows) == 0 {
+		t.Fatal("campaign table empty")
+	}
+}
+
+func TestFacadeWorkingSet(t *testing.T) {
+	w, err := BuildWorkingSetWorkload(32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.WorkingSetPages >= w.Layout.Pages() {
+		t.Fatal("working set not smaller than allocation")
+	}
+}
+
+func TestFacadeLocality(t *testing.T) {
+	w, err := BuildWorkload(Entry{Kernel: STREAM, ProblemSize: 8, MemoryMB: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, tmp := Locality(w)
+	if s <= 0.2 {
+		t.Fatalf("STREAM spatial = %v", s)
+	}
+	if tmp > 0.2 {
+		t.Fatalf("STREAM temporal = %v", tmp)
+	}
+}

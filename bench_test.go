@@ -1,0 +1,253 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5), one benchmark per artefact, plus micro-benchmarks of the hot paths.
+//
+// By default the experiment matrix runs at 1/16 of the paper's footprints
+// so `go test -bench=.` completes in minutes; set AMPOM_BENCH_SCALE=1 to
+// run the full Table 1 sizes (the numbers EXPERIMENTS.md records).
+// Per-iteration metrics are reported with b.ReportMetric, so the benchmark
+// output carries the same series the paper plots.
+package ampom
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"ampom/internal/core"
+	"ampom/internal/harness"
+	"ampom/internal/hpcc"
+	"ampom/internal/memory"
+	"ampom/internal/migrate"
+	"ampom/internal/netmodel"
+	"ampom/internal/simtime"
+)
+
+// benchScale reads the campaign scale divisor from the environment.
+func benchScale() int64 {
+	if s := os.Getenv("AMPOM_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v >= 1 {
+			return v
+		}
+	}
+	return 16
+}
+
+func benchCampaign() *harness.Matrix {
+	return harness.NewMatrix(harness.Config{Scale: benchScale(), Seed: 42})
+}
+
+// BenchmarkTable1Catalogue regenerates Table 1 (problem and memory sizes).
+func BenchmarkTable1Catalogue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchCampaign().Table1()
+		if len(t.Rows) != 18 {
+			b.Fatal("catalogue incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure4Localities regenerates the locality quadrants.
+func BenchmarkFigure4Localities(b *testing.B) {
+	m := benchCampaign()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := m.Figure4()
+		if len(t.Rows) != 4 {
+			b.Fatal("figure incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure5FreezeTime regenerates the freeze-time series and reports
+// the largest-DGEMM freeze per scheme as custom metrics.
+func BenchmarkFigure5FreezeTime(b *testing.B) {
+	m := benchCampaign()
+	for i := 0; i < b.N; i++ {
+		m = benchCampaign()
+		if t := m.Figure5(); len(t.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	report575(b, m, func(r *migrate.Result) float64 { return r.Freeze.Seconds() }, "freeze_s")
+}
+
+// BenchmarkFigure6ExecutionTime regenerates the total-execution series.
+func BenchmarkFigure6ExecutionTime(b *testing.B) {
+	m := benchCampaign()
+	for i := 0; i < b.N; i++ {
+		m = benchCampaign()
+		if t := m.Figure6(); len(t.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	report575(b, m, func(r *migrate.Result) float64 { return r.Total.Seconds() }, "total_s")
+}
+
+// BenchmarkFigure7PageFaults regenerates the fault-request series.
+func BenchmarkFigure7PageFaults(b *testing.B) {
+	m := benchCampaign()
+	for i := 0; i < b.N; i++ {
+		m = benchCampaign()
+		if t := m.Figure7(); len(t.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	report575(b, m, func(r *migrate.Result) float64 { return float64(r.HardFaults) }, "fault_requests")
+}
+
+// BenchmarkFigure8PrefetchAggressiveness regenerates the prefetched-pages
+// series.
+func BenchmarkFigure8PrefetchAggressiveness(b *testing.B) {
+	m := benchCampaign()
+	for i := 0; i < b.N; i++ {
+		m = benchCampaign()
+		if t := m.Figure8(); len(t.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	report575(b, m, func(r *migrate.Result) float64 { return r.PrefetchPerRequest }, "prefetch_per_req")
+}
+
+// BenchmarkFigure9NetworkAdaptation regenerates the broadband adaptation
+// bars.
+func BenchmarkFigure9NetworkAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := benchCampaign().Figure9(); len(t.Rows) != 4 {
+			b.Fatal("figure incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure10WorkingSets regenerates the small-working-set curves.
+func BenchmarkFigure10WorkingSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := benchCampaign().Figure10(); len(t.Rows) != 5 {
+			b.Fatal("figure incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure11Overhead regenerates the analysis-overhead series.
+func BenchmarkFigure11Overhead(b *testing.B) {
+	m := benchCampaign()
+	for i := 0; i < b.N; i++ {
+		m = benchCampaign()
+		if t := m.Figure11(); len(t.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	report575(b, m, func(r *migrate.Result) float64 { return r.OverheadPct }, "overhead_pct")
+}
+
+// report575 attaches the largest-DGEMM AMPoM metric of the last matrix as a
+// custom benchmark metric.
+func report575(b *testing.B, m *harness.Matrix, f func(*migrate.Result) float64, unit string) {
+	b.Helper()
+	e := hpcc.Scaled(hpcc.Largest(hpcc.DGEMM), benchScale())
+	w, err := hpcc.Build(e, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := migrate.Run(migrate.RunConfig{Workload: w, Scheme: migrate.AMPoM, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(f(r), unit)
+}
+
+// Ablation benchmarks — the design-choice studies DESIGN.md calls out.
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := benchCampaign().AblationBaseline(); len(t.Rows) != 4 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationWindowLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := benchCampaign().AblationWindow(); len(t.Rows) != 5 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationDMax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := benchCampaign().AblationDMax(); len(t.Rows) != 4 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationPrefetchCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := benchCampaign().AblationCap(); len(t.Rows) != 4 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// Micro-benchmarks of the hot paths.
+
+// BenchmarkAnalyze measures one AMPoM per-fault analysis (window scan,
+// score, zone construction) — the cost Figure 11 bounds below 0.6 % of
+// runtime.
+func BenchmarkAnalyze(b *testing.B) {
+	p := core.MustNew(core.DefaultConfig(), 1<<20)
+	for i := 0; i < 20; i++ {
+		p.RecordFault(memory.PageNum(1000+i), simtime.Time(i)*simtime.Time(simtime.Millisecond), 0.9)
+	}
+	est := core.Estimates{RTT: 20 * simtime.Millisecond, PageTransfer: 400 * simtime.Microsecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := p.Analyze(est)
+		if a.N == 0 {
+			b.Fatal("degenerate analysis")
+		}
+	}
+}
+
+// BenchmarkRecordFault measures the window update path.
+func BenchmarkRecordFault(b *testing.B) {
+	p := core.MustNew(core.DefaultConfig(), 1<<20)
+	for i := 0; i < b.N; i++ {
+		p.RecordFault(memory.PageNum(i&0xffff), simtime.Time(i), 0.9)
+	}
+}
+
+// BenchmarkMigrationRun measures one complete small AMPoM experiment
+// end to end (workload build excluded).
+func BenchmarkMigrationRun(b *testing.B) {
+	w, err := hpcc.Build(hpcc.Scaled(hpcc.Largest(hpcc.STREAM), 64), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := migrate.Run(migrate.RunConfig{Workload: w, Scheme: migrate.AMPoM, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PagesArrived == 0 {
+			b.Fatal("no paging happened")
+		}
+	}
+}
+
+// BenchmarkLinkThroughput measures the network model's message path.
+func BenchmarkLinkThroughput(b *testing.B) {
+	eng := newEngine()
+	a := netmodel.NewNIC("a", nil)
+	c := netmodel.NewNIC("b", func(netmodel.Message) {})
+	link := netmodel.NewLink(eng, netmodel.FastEthernet(), a, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Send(a, netmodel.Message{Size: 4160})
+		if i%1024 == 0 {
+			eng.RunAll()
+		}
+	}
+	eng.RunAll()
+}

@@ -1,0 +1,73 @@
+// Command ampom-bench regenerates the tables and figures of the paper's
+// evaluation (Table 1, Figures 4–11) plus the repository's ablation
+// studies, printing the same rows and series the paper reports.
+//
+// Usage:
+//
+//	ampom-bench                        # every figure at paper scale
+//	ampom-bench -scale 16              # quick 1/16-scale pass
+//	ampom-bench -figure fig7 -csv      # one figure, CSV output
+//	ampom-bench -ablations             # the ablation studies as well
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ampom"
+)
+
+func main() {
+	scale := flag.Int64("scale", 1, "divide every Table 1 footprint by this (1 = paper scale)")
+	seed := flag.Uint64("seed", 42, "seed for all stochastic components")
+	figure := flag.String("figure", "all", "which artefact to print: all, table1, fig4..fig11")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	ablations := flag.Bool("ablations", false, "also run the ablation studies")
+	flag.Parse()
+
+	c := ampom.NewCampaign(ampom.CampaignConfig{Scale: *scale, Seed: *seed})
+
+	selected := map[string]func() *ampom.FigureTable{
+		"table1": c.Table1,
+		"fig4":   c.Figure4,
+		"fig5":   c.Figure5,
+		"fig6":   c.Figure6,
+		"fig7":   c.Figure7,
+		"fig8":   c.Figure8,
+		"fig9":   c.Figure9,
+		"fig10":  c.Figure10,
+		"fig11":  c.Figure11,
+	}
+	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+
+	var tables []*ampom.FigureTable
+	switch strings.ToLower(*figure) {
+	case "all":
+		for _, name := range order {
+			tables = append(tables, selected[name]())
+		}
+	default:
+		gen, ok := selected[strings.ToLower(*figure)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ampom-bench: unknown figure %q (want all, table1, fig4..fig11)\n", *figure)
+			os.Exit(2)
+		}
+		tables = append(tables, gen())
+	}
+	if *ablations {
+		tables = append(tables, c.AllAblations()...)
+	}
+
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s", t.Title, t.CSV())
+		} else {
+			fmt.Print(t.Render())
+		}
+	}
+}

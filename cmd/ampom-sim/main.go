@@ -1,0 +1,104 @@
+// Command ampom-sim runs a single migration experiment on the simulated
+// cluster and prints its full result: phase timings, fault census, paging
+// statistics and AMPoM diagnostics.
+//
+// Usage:
+//
+//	ampom-sim -kernel STREAM -mb 575 -scheme ampom
+//	ampom-sim -kernel RandomAccess -mb 129 -scheme noprefetch -network broadband
+//	ampom-sim -kernel DGEMM -alloc 575 -mb 115    # §5.6 working-set variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ampom"
+)
+
+func main() {
+	kernel := flag.String("kernel", "DGEMM", "HPCC kernel: DGEMM, STREAM, RandomAccess, FFT")
+	mb := flag.Int64("mb", 115, "process footprint in MB (working set for -alloc runs)")
+	alloc := flag.Int64("alloc", 0, "if set, allocate this many MB but touch only -mb (§5.6)")
+	scheme := flag.String("scheme", "ampom", "migration scheme: ampom, openmosix, noprefetch")
+	network := flag.String("network", "fast", "network: fast (100Mb/s) or broadband (6Mb/s)")
+	load := flag.Float64("load", 0, "background network load fraction [0,0.95]")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	var k ampom.Kernel
+	switch strings.ToLower(*kernel) {
+	case "dgemm":
+		k = ampom.DGEMM
+	case "stream":
+		k = ampom.STREAM
+	case "randomaccess", "ra", "gups":
+		k = ampom.RandomAccess
+	case "fft":
+		k = ampom.FFT
+	default:
+		fatal("unknown kernel %q", *kernel)
+	}
+
+	var s ampom.Scheme
+	switch strings.ToLower(*scheme) {
+	case "ampom":
+		s = ampom.SchemeAMPoM
+	case "openmosix", "om":
+		s = ampom.SchemeOpenMosix
+	case "noprefetch", "np", "ffa":
+		s = ampom.SchemeNoPrefetch
+	default:
+		fatal("unknown scheme %q", *scheme)
+	}
+
+	net := ampom.FastEthernet()
+	if strings.HasPrefix(strings.ToLower(*network), "broad") {
+		net = ampom.Broadband()
+	}
+
+	var w *ampom.Workload
+	var err error
+	if *alloc > 0 {
+		w, err = ampom.BuildWorkingSetWorkload(*alloc, *mb, *seed)
+	} else {
+		w, err = ampom.BuildWorkload(ampom.Entry{Kernel: k, ProblemSize: *mb, MemoryMB: *mb}, *seed)
+	}
+	if err != nil {
+		fatal("building workload: %v", err)
+	}
+
+	r, err := ampom.Run(ampom.RunConfig{
+		Workload: w, Scheme: s, Network: net, Seed: *seed, BackgroundLoad: *load,
+	})
+	if err != nil {
+		fatal("running: %v", err)
+	}
+
+	fmt.Printf("workload        %s (%d pages, %d refs)\n", r.Workload, w.Layout.Pages(), w.Refs)
+	fmt.Printf("scheme          %v on %s\n", r.Scheme, r.Network)
+	fmt.Printf("init            %v\n", r.Init)
+	fmt.Printf("freeze          %v\n", r.Freeze)
+	fmt.Printf("exec            %v\n", r.Exec)
+	fmt.Printf("total           %v\n", r.Total)
+	fmt.Printf("faults          %d (hard %d, wait %d, soft %d)\n",
+		r.Faults, r.HardFaults, r.WaitFaults, r.SoftFaults)
+	fmt.Printf("requests        %d (%d prefetch-only)\n", r.RequestsSent, r.PrefetchOnly)
+	fmt.Printf("pages moved     %d demand + %d prefetched\n", r.DemandPages, r.PrefetchPages)
+	fmt.Printf("bytes to dest   %d\n", r.BytesToDest)
+	fmt.Printf("stall time      %v\n", r.StallTime)
+	if s == ampom.SchemeAMPoM {
+		fmt.Printf("prefetch/req    %.1f\n", r.PrefetchPerRequest)
+		fmt.Printf("mean S / N      %.3f / %.1f\n", r.MeanScore, r.MeanN)
+		fmt.Printf("analysis time   %v (%.3f%% of exec)\n", r.AnalysisTime, r.OverheadPct)
+		fmt.Printf("final RTT est   %v\n", r.FinalRTTEst)
+	}
+	fmt.Printf("sim events      %d\n", r.Events)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ampom-sim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,60 @@
+// hpcc-compare runs all four HPCC kernels of the paper's evaluation under
+// all three migration schemes at a configurable scale, printing the
+// Figure 5/6/7 shapes side by side.
+//
+//	go run ./examples/hpcc-compare            # 1/8 of paper scale
+//	go run ./examples/hpcc-compare -scale 1   # full Table 1 sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ampom"
+)
+
+func main() {
+	scale := flag.Int64("scale", 8, "divide paper footprints by this")
+	flag.Parse()
+
+	fmt.Printf("%-14s %6s | %9s %9s %9s | %9s %8s | %10s\n",
+		"kernel", "MB", "om total", "np total", "am total", "np faults", "am reqs", "prevention")
+	for _, k := range ampom.Kernels() {
+		entry := ampom.ScaleEntry(largest(k), *scale)
+		w, err := ampom.BuildWorkload(entry, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var om, np, am *ampom.Result
+		for _, s := range []ampom.Scheme{ampom.SchemeOpenMosix, ampom.SchemeNoPrefetch, ampom.SchemeAMPoM} {
+			r, err := ampom.Run(ampom.RunConfig{Workload: w, Scheme: s, Seed: 42})
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch s {
+			case ampom.SchemeOpenMosix:
+				om = r
+			case ampom.SchemeNoPrefetch:
+				np = r
+			case ampom.SchemeAMPoM:
+				am = r
+			}
+		}
+		fmt.Printf("%-14v %6d | %8.2fs %8.2fs %8.2fs | %9d %8d | %9.1f%%\n",
+			k, entry.MemoryMB,
+			om.Total.Seconds(), np.Total.Seconds(), am.Total.Seconds(),
+			np.HardFaults, am.HardFaults, 100*am.FaultPrevention(np.HardFaults))
+	}
+}
+
+// largest picks the biggest Table 1 row of a kernel.
+func largest(k ampom.Kernel) ampom.Entry {
+	var last ampom.Entry
+	for _, e := range ampom.Catalogue() {
+		if e.Kernel == k {
+			last = e
+		}
+	}
+	return last
+}

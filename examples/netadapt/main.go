@@ -1,0 +1,54 @@
+// netadapt reproduces the paper's §5.5 experiment live: how the three
+// schemes behave when the 100 Mb/s cluster interconnect is replaced by a
+// tc-shaped 6 Mb/s / 2 ms broadband link, and how AMPoM's Equation 3
+// adapts its prefetch depth to the network.
+//
+//	go run ./examples/netadapt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ampom"
+)
+
+func main() {
+	configs := []struct {
+		kernel ampom.Kernel
+		mb     int64
+	}{
+		{ampom.DGEMM, 57},        // ~115/2 MB
+		{ampom.RandomAccess, 64}, // ~129/2 MB
+	}
+	networks := []ampom.NetworkProfile{ampom.FastEthernet(), ampom.Broadband()}
+
+	for _, c := range configs {
+		w, err := ampom.BuildWorkload(ampom.Entry{Kernel: c.kernel, ProblemSize: c.mb, MemoryMB: c.mb}, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%d MB):\n", c.kernel, c.mb)
+		for _, net := range networks {
+			om := must(ampom.Run(ampom.RunConfig{Workload: w, Scheme: ampom.SchemeOpenMosix, Network: net, Seed: 42}))
+			np := must(ampom.Run(ampom.RunConfig{Workload: w, Scheme: ampom.SchemeNoPrefetch, Network: net, Seed: 42}))
+			am := must(ampom.Run(ampom.RunConfig{Workload: w, Scheme: ampom.SchemeAMPoM, Network: net, Seed: 42}))
+			rel := func(r *ampom.Result) float64 {
+				return 100 * (r.Total.Seconds() - om.Total.Seconds()) / om.Total.Seconds()
+			}
+			fmt.Printf("  %-26s AMPoM %+6.1f%%  NoPrefetch %+6.1f%%  (mean N %.1f, RTT est %v)\n",
+				net.Name, rel(am), rel(np), am.MeanN, am.FinalRTTEst)
+		}
+		fmt.Println()
+	}
+	fmt.Println("On the slow link AMPoM's paging rate r collapses, Equation 3 shrinks")
+	fmt.Println("the dependent zone, and random access degrades towards NoPrefetch —")
+	fmt.Println("while the sequential kernel stays close to openMosix on both networks.")
+}
+
+func must(r *ampom.Result, err error) *ampom.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

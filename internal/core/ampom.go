@@ -1,0 +1,492 @@
+// Package core implements the AMPoM algorithm — the paper's primary
+// contribution (§3): an adaptive, conservative prefetching scheme that, at
+// every page fault of a migrated process, analyses the spatial locality of
+// the recent fault stream and decides which and how many pages to prefetch
+// from the process's origin node.
+//
+// The Prefetcher maintains the fixed-length lookback window W of faulted
+// page addresses together with the T (access time) and C (CPU utilisation)
+// arrays, computes the spatial locality score S (Eq. 1), sizes the dependent
+// zone N = (c'/c)·S·r·(2t0 + td + 1/r) (Eq. 3), and identifies the zone's
+// pages from the prefetch pivots of outstanding strided streams (§3.4).
+//
+// The implementation is allocation-light: the window is a small ring and the
+// stride search runs in O(l²) over at most l = 20 entries, mirroring the
+// cheap in-kernel analysis the paper reports (<0.6 % of runtime, Fig. 11).
+package core
+
+import (
+	"fmt"
+
+	"ampom/internal/memory"
+	"ampom/internal/simtime"
+)
+
+// Config holds the AMPoM tuning parameters. The defaults mirror the paper's
+// implementation (§4).
+type Config struct {
+	// WindowLen is l, the lookback window length. Paper: 20.
+	WindowLen int
+	// DMax is the largest stride searched for. Paper: 4 ("most programs
+	// perform at most two-level indirect memory references").
+	DMax int
+	// MaxPrefetch caps the dependent-zone size per fault, a safety valve the
+	// kernel needs so a mis-estimated N cannot flood the network. 0 means
+	// DefaultMaxPrefetch.
+	MaxPrefetch int
+	// BaselineScore is the fixed read-ahead baseline of §5.3: even when the
+	// access pattern "is not clear" (S ≈ 0), AMPoM behaves like a
+	// fixed-size read-ahead policy. We model this as a floor on the score
+	// used for zone sizing (the reported Analysis.Score stays the raw
+	// measurement). Zero means DefaultBaselineScore; negative disables the
+	// baseline entirely (pure Eq. 3 — used by the ablation benchmarks).
+	BaselineScore float64
+}
+
+// Defaults matching the paper's implementation.
+const (
+	DefaultWindowLen     = 20
+	DefaultDMax          = 4
+	DefaultMaxPrefetch   = 128
+	DefaultBaselineScore = 0.6
+)
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		WindowLen:     DefaultWindowLen,
+		DMax:          DefaultDMax,
+		MaxPrefetch:   DefaultMaxPrefetch,
+		BaselineScore: DefaultBaselineScore,
+	}
+}
+
+// normalised fills in zero fields and validates.
+func (c Config) normalised() (Config, error) {
+	if c.WindowLen == 0 {
+		c.WindowLen = DefaultWindowLen
+	}
+	if c.DMax == 0 {
+		c.DMax = DefaultDMax
+	}
+	if c.MaxPrefetch == 0 {
+		c.MaxPrefetch = DefaultMaxPrefetch
+	}
+	if c.BaselineScore == 0 {
+		c.BaselineScore = DefaultBaselineScore
+	}
+	if c.BaselineScore < 0 {
+		c.BaselineScore = 0
+	}
+	if c.BaselineScore > 1 {
+		return c, fmt.Errorf("core: BaselineScore %v out of range (need <= 1)", c.BaselineScore)
+	}
+	if c.WindowLen < 2 {
+		return c, fmt.Errorf("core: window length %d too small (need >= 2)", c.WindowLen)
+	}
+	if c.DMax < 1 || c.DMax >= c.WindowLen {
+		return c, fmt.Errorf("core: dmax %d out of range (need 1 <= dmax < l=%d)", c.DMax, c.WindowLen)
+	}
+	if c.MaxPrefetch < 0 {
+		return c, fmt.Errorf("core: negative MaxPrefetch %d", c.MaxPrefetch)
+	}
+	return c, nil
+}
+
+// Estimates carries the resource measurements AMPoM reads from the oM_infoD
+// monitoring daemon at analysis time (§4).
+type Estimates struct {
+	// RTT is t0's round-trip component: the daemon-measured round trip time
+	// between destination and origin nodes. Note the paper measures this
+	// with user-level load-update acknowledgements, so it is much larger
+	// than the wire RTT — see DESIGN.md.
+	RTT simtime.Duration
+	// PageTransfer is td, the time to transfer one page at the currently
+	// estimated available bandwidth.
+	PageTransfer simtime.Duration
+}
+
+// Analysis is the outcome of one per-fault run of the AMPoM algorithm.
+type Analysis struct {
+	// Score is the spatial locality score S in [0, 1].
+	Score float64
+	// PagingRate is r in faults per second of Eq. 2/3.
+	PagingRate float64
+	// CPUMean is c, the mean CPU utilisation over the window.
+	CPUMean float64
+	// CPUExpected is c' = C_l, the most recent utilisation sample.
+	CPUExpected float64
+	// NReal is N before truncation, useful for diagnostics.
+	NReal float64
+	// N is the dependent-zone size actually used (⌊NReal⌋, capped).
+	N int
+	// Streams is m, the number of outstanding strided streams found.
+	Streams int
+	// Pivots are the prefetch pivots of the outstanding streams, in window
+	// order.
+	Pivots []memory.PageNum
+	// Zone is the dependent zone: up to N distinct candidate pages, in
+	// prefetch priority order. The caller filters out pages already local
+	// or in flight before issuing the remote paging request.
+	Zone []memory.PageNum
+}
+
+// entry is one lookback-window slot.
+type entry struct {
+	page memory.PageNum
+	t    simtime.Time // T_i: access (fault) time
+	cpu  float64      // C_i: CPU utilisation when recorded
+}
+
+// Prefetcher is the per-process AMPoM state: the lookback window and the
+// analysis machinery. Create one per migrant with New.
+type Prefetcher struct {
+	cfg Config
+
+	win   []entry // ring buffer, oldest at head
+	head  int
+	count int
+
+	maxPage memory.PageNum // one past the last valid page
+
+	// scratch buffer reused across analyses to avoid per-fault allocation.
+	scratchPages []memory.PageNum
+
+	// cumulative statistics for the evaluation figures.
+	faults     int64
+	prefetched int64
+}
+
+// New returns a Prefetcher for an address space of totalPages pages.
+func New(cfg Config, totalPages int64) (*Prefetcher, error) {
+	cfg, err := cfg.normalised()
+	if err != nil {
+		return nil, err
+	}
+	if totalPages <= 0 {
+		return nil, fmt.Errorf("core: non-positive address space size %d", totalPages)
+	}
+	return &Prefetcher{
+		cfg:          cfg,
+		win:          make([]entry, cfg.WindowLen),
+		maxPage:      memory.PageNum(totalPages),
+		scratchPages: make([]memory.PageNum, 0, cfg.WindowLen),
+	}, nil
+}
+
+// MustNew is New panicking on error, for fixtures.
+func MustNew(cfg Config, totalPages int64) *Prefetcher {
+	p, err := New(cfg, totalPages)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the active configuration.
+func (p *Prefetcher) Config() Config { return p.cfg }
+
+// WindowLen returns the number of entries currently in the window.
+func (p *Prefetcher) WindowLen() int { return p.count }
+
+// Window returns a copy of the current window contents, oldest first.
+func (p *Prefetcher) Window() []memory.PageNum {
+	out := make([]memory.PageNum, 0, p.count)
+	for i := 0; i < p.count; i++ {
+		out = append(out, p.at(i).page)
+	}
+	return out
+}
+
+// at returns the i-th window entry, 0 = oldest.
+func (p *Prefetcher) at(i int) *entry {
+	return &p.win[(p.head+i)%len(p.win)]
+}
+
+// RecordFault appends a fault on page at time now with CPU utilisation cpu
+// to the lookback window. When the window is full the oldest entry is
+// discarded (§3.1). Consecutive repeated references to the same page are
+// temporal locality and collapse into a single reference (§3.1); the entry's
+// time and utilisation are refreshed so the paging rate stays current.
+func (p *Prefetcher) RecordFault(page memory.PageNum, now simtime.Time, cpu float64) {
+	if cpu < 0 {
+		cpu = 0
+	}
+	if cpu > 1 {
+		cpu = 1
+	}
+	p.faults++
+	if p.count > 0 {
+		last := p.at(p.count - 1)
+		if last.page == page {
+			last.t = now
+			last.cpu = cpu
+			return
+		}
+	}
+	if p.count == len(p.win) {
+		p.head = (p.head + 1) % len(p.win)
+		p.count--
+	}
+	*p.at(p.count) = entry{page: page, t: now, cpu: cpu}
+	p.count++
+}
+
+// Faults returns the number of faults recorded so far.
+func (p *Prefetcher) Faults() int64 { return p.faults }
+
+// NotePrefetched accumulates the count of pages actually requested as
+// prefetches (after residency filtering), for the Figure 8 statistic.
+func (p *Prefetcher) NotePrefetched(n int) { p.prefetched += int64(n) }
+
+// Prefetched returns the cumulative number of prefetched pages.
+func (p *Prefetcher) Prefetched() int64 { return p.prefetched }
+
+// PrefetchedPerFault returns the Figure 8 statistic.
+func (p *Prefetcher) PrefetchedPerFault() float64 {
+	if p.faults == 0 {
+		return 0
+	}
+	return float64(p.prefetched) / float64(p.faults)
+}
+
+// Analyze runs the AMPoM analysis for the current window state and returns
+// the dependent zone. It is called at every page fault, after RecordFault.
+func (p *Prefetcher) Analyze(est Estimates) Analysis {
+	var a Analysis
+	if p.count < 2 {
+		return a
+	}
+
+	// Gather the window pages into scratch (oldest first).
+	w := p.scratchPages[:0]
+	for i := 0; i < p.count; i++ {
+		w = append(w, p.at(i).page)
+	}
+	p.scratchPages = w
+
+	// --- Spatial locality score S (Eq. 1) ---------------------------------
+	a.Score = p.score(w)
+
+	// --- Paging rate r and CPU terms (Eq. 2) ------------------------------
+	first, last := p.at(0), p.at(p.count-1)
+	span := last.t.Sub(first.t)
+	if span <= 0 {
+		span = simtime.Nanosecond
+	}
+	a.PagingRate = float64(p.count) / span.Seconds()
+
+	var cpuSum float64
+	for i := 0; i < p.count; i++ {
+		cpuSum += p.at(i).cpu
+	}
+	a.CPUMean = cpuSum / float64(p.count)
+	a.CPUExpected = last.cpu
+
+	// --- Dependent zone size N (Eq. 3) ------------------------------------
+	// N = (c'/c) · S · r · t with t = 2t0 + td + 1/r, i.e.
+	// N = (c'/c) · S · (r·(2t0+td) + 1).
+	// c'/c, clamped: the utilisation probes come from coarse daemon
+	// sampling, and an unbounded ratio would let one noisy sample swing the
+	// zone size by orders of magnitude.
+	ratio := 1.0
+	if a.CPUMean > 0 {
+		ratio = a.CPUExpected / a.CPUMean
+	}
+	if ratio < 0.25 {
+		ratio = 0.25
+	}
+	if ratio > 4 {
+		ratio = 4
+	}
+	// t = 2t0 + td + 1/r. The daemon reports the round trip directly, so
+	// 2t0 = RTT, and N = (c'/c)·S·r·t = (c'/c)·S·(r·(RTT+td) + 1).
+	// The score is floored at the read-ahead baseline (§5.3) for sizing.
+	t := est.RTT.Seconds() + est.PageTransfer.Seconds()
+	effScore := a.Score
+	if effScore < p.cfg.BaselineScore {
+		effScore = p.cfg.BaselineScore
+	}
+	a.NReal = ratio * effScore * (a.PagingRate*t + 1)
+	a.N = int(a.NReal)
+	if a.N > p.cfg.MaxPrefetch {
+		a.N = p.cfg.MaxPrefetch
+	}
+	if a.N < 0 {
+		a.N = 0
+	}
+
+	// --- Which pages: prefetch pivots of outstanding streams (§3.4) -------
+	a.Pivots = p.pivots(w)
+	a.Streams = len(a.Pivots)
+	if a.N > 0 {
+		a.Zone = p.zone(w, a.Pivots, a.N)
+	}
+	return a
+}
+
+// strideOf returns the stride of the page at window position i: the minimum
+// forward distance d (1 ≤ d ≤ DMax) to a later reference to page w[i]+1, or
+// 0 when none exists within DMax.
+func (p *Prefetcher) strideOf(w []memory.PageNum, i int) int {
+	want := w[i] + 1
+	for j := i + 1; j < len(w); j++ {
+		if w[j] == want {
+			if d := j - i; d <= p.cfg.DMax {
+				return d
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+// score computes the spatial locality score S of Eq. 1:
+//
+//	S = Σ_{d=1..dmax} stride_d / (l·d)
+//
+// stride_d counts distinct pages participating in stride-d patterns — both
+// the page whose minimum forward distance to its successor page is d and
+// that successor page itself, matching the paper's worked examples (e.g.
+// {1,99,2,45,3,78,4} ⇒ stride_2 = 4 for pages {1,2,3,4}).
+func (p *Prefetcher) score(w []memory.PageNum) float64 {
+	// Minimum forward distance per page *value*. With at most l = 20
+	// entries a flat pair list beats a map.
+	type pd struct {
+		page memory.PageNum
+		d    int
+	}
+	links := make([]pd, 0, len(w))
+	for i := range w {
+		d := p.strideOf(w, i)
+		if d == 0 {
+			continue
+		}
+		// Keep the minimum d per page value across duplicate positions.
+		found := false
+		for k := range links {
+			if links[k].page == w[i] {
+				found = true
+				if d < links[k].d {
+					links[k].d = d
+				}
+				break
+			}
+		}
+		if !found {
+			links = append(links, pd{w[i], d})
+		}
+	}
+
+	// Count distinct (page, d) participations: both endpoints of each link.
+	var members []pd
+	addMember := func(page memory.PageNum, d int) bool {
+		for _, m := range members {
+			if m.page == page && m.d == d {
+				return false
+			}
+		}
+		members = append(members, pd{page, d})
+		return true
+	}
+	counts := make([]int64, p.cfg.DMax+1)
+	for _, lk := range links {
+		if addMember(lk.page, lk.d) {
+			counts[lk.d]++
+		}
+		if addMember(lk.page+1, lk.d) {
+			counts[lk.d]++
+		}
+	}
+
+	l := p.cfg.WindowLen
+	s := 0.0
+	for d := 1; d <= p.cfg.DMax; d++ {
+		s += float64(counts[d]) / (float64(l) * float64(d))
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// pivots finds the outstanding strided streams and their prefetch pivots
+// (§3.4). A stride-d link w[q] = w[p]+1 (d = q−p ≤ DMax) is outstanding
+// when its completing reference sits in the last d window slots — in the
+// paper's 1-based indexing (p+d) > l−d, i.e. q ≥ len(w)−d here. The pivot
+// is the page after the stream's last page, w[q]+1. Pivots are
+// deduplicated and clamped to the address space.
+func (p *Prefetcher) pivots(w []memory.PageNum) []memory.PageNum {
+	var out []memory.PageNum
+	n := len(w)
+	seen := func(piv memory.PageNum) bool {
+		for _, o := range out {
+			if o == piv {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range w {
+		d := p.strideOf(w, i)
+		if d == 0 {
+			continue
+		}
+		q := i + d
+		if q < n-d {
+			continue // stream no longer outstanding
+		}
+		piv := w[q] + 1
+		if piv >= 0 && piv < p.maxPage && !seen(piv) {
+			out = append(out, piv)
+		}
+	}
+	return out
+}
+
+// zone materialises the dependent zone: n pages distributed over the pivots
+// (n/m pages following each pivot, duplicates rolling their quota forward to
+// further pages — §3.4), or, with no outstanding streams, the n pages
+// following the last faulted page, imitating Linux read-ahead.
+func (p *Prefetcher) zone(w []memory.PageNum, pivots []memory.PageNum, n int) []memory.PageNum {
+	out := make([]memory.PageNum, 0, n)
+	chosen := make(map[memory.PageNum]bool, n)
+	add := func(page memory.PageNum) bool {
+		if page < 0 || page >= p.maxPage || chosen[page] {
+			return false
+		}
+		chosen[page] = true
+		out = append(out, page)
+		return true
+	}
+
+	if len(pivots) == 0 {
+		last := w[len(w)-1]
+		for i := 1; len(out) < n; i++ {
+			page := last + memory.PageNum(i)
+			if page >= p.maxPage {
+				break
+			}
+			add(page)
+		}
+		return out
+	}
+
+	m := len(pivots)
+	quota := n / m
+	extra := n % m
+	for idx, piv := range pivots {
+		q := quota
+		if idx < extra {
+			q++
+		}
+		// Take q *fresh* pages starting at the pivot; pages already chosen
+		// by an earlier stream do not consume quota ("saved quota").
+		for page := piv; q > 0 && page < p.maxPage; page++ {
+			if add(page) {
+				q--
+			}
+		}
+	}
+	return out
+}

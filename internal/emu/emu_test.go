@@ -1,0 +1,225 @@
+package emu
+
+import (
+	"testing"
+
+	"ampom/internal/core"
+)
+
+// twoNodes starts an origin and a destination on the loopback.
+func twoNodes(t *testing.T) (*Node, *Node) {
+	t.Helper()
+	origin, err := Listen("origin", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := Listen("dest", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		origin.Close()
+		dest.Close()
+	})
+	return origin, dest
+}
+
+// baseline runs the same program without migration and returns the final
+// memory checksum.
+func baseline(t *testing.T, pages int, program []Op, seed uint64) uint64 {
+	t.Helper()
+	node, err := Listen("solo", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	p := Spawn(node, 1, pages, program, seed)
+	return p.RunLocal()
+}
+
+func TestMigrationPreservesMemorySequential(t *testing.T) {
+	const pages = 128
+	program := SequentialProgram(pages, 3)
+	want := baseline(t, pages, program, 7)
+
+	origin, dest := twoNodes(t)
+	p := Spawn(origin, 1, pages, program, 7)
+	got, err := Migrate(p, dest.Addr(), MigrateOptions{Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("checksum after migration %x != baseline %x", got, want)
+	}
+}
+
+func TestMigrationPreservesMemoryNoPrefetch(t *testing.T) {
+	const pages = 64
+	program := SequentialProgram(pages, 2)
+	want := baseline(t, pages, program, 9)
+
+	origin, dest := twoNodes(t)
+	p := Spawn(origin, 1, pages, program, 9)
+	got, err := Migrate(p, dest.Addr(), MigrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("checksum %x != baseline %x", got, want)
+	}
+}
+
+func TestMigrationPreservesMemoryStrided(t *testing.T) {
+	const pages = 96
+	program := StridedProgram(pages, 500, 7)
+	want := baseline(t, pages, program, 13)
+
+	origin, dest := twoNodes(t)
+	p := Spawn(origin, 1, pages, program, 13)
+	got, err := Migrate(p, dest.Addr(), MigrateOptions{Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("checksum %x != baseline %x", got, want)
+	}
+}
+
+func TestMidExecutionMigration(t *testing.T) {
+	const pages = 64
+	program := SequentialProgram(pages, 4)
+	want := baseline(t, pages, program, 21)
+
+	origin, dest := twoNodes(t)
+	p := Spawn(origin, 1, pages, program, 21)
+	p.Step(pages + pages/2) // run 1.5 passes locally, then migrate
+	got, err := Migrate(p, dest.Addr(), MigrateOptions{Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("checksum %x != baseline %x (mid-execution state lost?)", got, want)
+	}
+}
+
+func TestPrefetchBatchesRequests(t *testing.T) {
+	const pages = 256
+	program := SequentialProgram(pages, 1)
+
+	origin, dest := twoNodes(t)
+	pNo := Spawn(origin, 1, pages, program, 3)
+	if _, err := Migrate(pNo, dest.Addr(), MigrateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	noPrefetchReqs := dest.Proc(1).Stats.FaultRequests
+
+	origin2, dest2 := twoNodes(t)
+	pYes := Spawn(origin2, 2, pages, program, 3)
+	if _, err := Migrate(pYes, dest2.Addr(), MigrateOptions{Prefetch: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := dest2.Proc(2).Stats
+	if st.FaultRequests >= noPrefetchReqs {
+		t.Fatalf("prefetch requests %d not below demand-only %d", st.FaultRequests, noPrefetchReqs)
+	}
+	if st.PrefetchPages == 0 {
+		t.Fatal("no pages prefetched on a sequential program")
+	}
+}
+
+func TestOnlyTouchedPagesMove(t *testing.T) {
+	const pages = 200
+	// Touch only the first quarter (small working set, §5.6).
+	program := SequentialProgram(pages/4, 2)
+
+	origin, dest := twoNodes(t)
+	p := Spawn(origin, 1, pages, program, 5)
+	if _, err := Migrate(p, dest.Addr(), MigrateOptions{Prefetch: true}); err != nil {
+		t.Fatal(err)
+	}
+	migrant := dest.Proc(1)
+	moved := migrant.LocalPages()
+	if moved >= pages*3/4 {
+		t.Fatalf("moved %d of %d pages for a quarter-size working set", moved, pages)
+	}
+	// Untouched pages stay at the origin deputy.
+	if left := p.LocalPages(); left == 0 {
+		t.Fatal("origin retained nothing; working-set advantage lost")
+	}
+	if moved+p.LocalPages() != pages {
+		t.Fatalf("page conservation violated: %d at dest + %d at origin != %d",
+			moved, p.LocalPages(), pages)
+	}
+}
+
+func TestBytesFetchedAccounting(t *testing.T) {
+	const pages = 64
+	program := SequentialProgram(pages, 1)
+	origin, dest := twoNodes(t)
+	p := Spawn(origin, 1, pages, program, 2)
+	if _, err := Migrate(p, dest.Addr(), MigrateOptions{Prefetch: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := dest.Proc(1).Stats
+	fetched := st.DemandPages + st.PrefetchPages
+	if st.BytesFetched != fetched*PageSize {
+		t.Fatalf("bytes %d != %d pages × %d", st.BytesFetched, fetched, PageSize)
+	}
+}
+
+func TestCustomPrefetcherConfig(t *testing.T) {
+	const pages = 128
+	program := SequentialProgram(pages, 1)
+	origin, dest := twoNodes(t)
+	p := Spawn(origin, 1, pages, program, 4)
+	cfg := core.Config{WindowLen: 10, DMax: 2, MaxPrefetch: 4, BaselineScore: -1}
+	if _, err := Migrate(p, dest.Addr(), MigrateOptions{Prefetch: true, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	st := dest.Proc(1).Stats
+	perReq := float64(st.PrefetchPages) / float64(st.FaultRequests)
+	if perReq > 4 {
+		t.Fatalf("prefetched %.1f pages/request despite cap 4", perReq)
+	}
+}
+
+func TestSpawnAndRunLocalDeterministic(t *testing.T) {
+	program := StridedProgram(32, 200, 5)
+	a := baseline(t, 32, program, 77)
+	b := baseline(t, 32, program, 77)
+	if a != b {
+		t.Fatal("local runs with same seed diverged")
+	}
+	c := baseline(t, 32, program, 78)
+	if a == c {
+		t.Fatal("different seeds produced identical memories")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	n, err := Listen("x", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Name() != "x" || n.Addr() == "" {
+		t.Fatal("accessors wrong")
+	}
+	if n.Proc(99) != nil {
+		t.Fatal("phantom proc")
+	}
+}
+
+func TestProgramBuilders(t *testing.T) {
+	seq := SequentialProgram(10, 2)
+	if len(seq) != 20 || seq[0].Page != 0 || !seq[0].Write || seq[10].Write {
+		t.Fatalf("sequential program wrong: %+v", seq[:3])
+	}
+	str := StridedProgram(10, 5, 3)
+	want := []int{0, 3, 6, 9, 2}
+	for i, op := range str {
+		if op.Page != want[i] {
+			t.Fatalf("strided pages = %v", str)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package eventq implements the pending-event set of the discrete-event
+// simulator: a binary min-heap ordered by firing time, with a monotonically
+// increasing sequence number breaking ties so that events scheduled earlier
+// fire earlier. Stable tie-breaking is what makes simulations deterministic.
+package eventq
+
+import "ampom/internal/simtime"
+
+// Event is a scheduled callback. Events are allocated by the queue and
+// reachable through the handle returned by Push, which supports
+// cancellation.
+type Event struct {
+	At  simtime.Time // firing instant
+	Seq uint64       // insertion order, breaks At ties
+	Fn  func()       // callback; nil after cancellation
+
+	index int // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index < 0 && e.Fn == nil }
+
+// Queue is a time-ordered event set. The zero value is ready to use.
+// Queue is not safe for concurrent use; the simulation engine owns it.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fn to fire at instant at and returns a handle that can be
+// passed to Cancel.
+func (q *Queue) Push(at simtime.Time, fn func()) *Event {
+	e := &Event{At: at, Seq: q.seq, Fn: fn}
+	q.seq++
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+	return e
+}
+
+// Peek returns the earliest pending event without removing it, or nil if the
+// queue is empty.
+func (q *Queue) Peek() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the earliest pending event, or nil if the queue is
+// empty.
+func (q *Queue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	e := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[0].index = 0
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if len(q.heap) > 0 {
+		q.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+// Cancel removes a pending event so it will never fire. Cancelling an event
+// that already fired or was already cancelled is a no-op. It returns whether
+// the event was actually removed.
+func (q *Queue) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	i := e.index
+	last := len(q.heap) - 1
+	if i != last {
+		q.heap[i] = q.heap[last]
+		q.heap[i].index = i
+	}
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if i < len(q.heap) {
+		if !q.up(i) {
+			q.down(i)
+		}
+	}
+	e.index = -1
+	e.Fn = nil
+	return true
+}
+
+// less orders events by time, then by insertion sequence.
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.Seq < b.Seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+// up restores the heap property walking towards the root. It reports whether
+// the element moved.
+func (q *Queue) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down restores the heap property walking towards the leaves.
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

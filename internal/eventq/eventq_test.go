@@ -1,0 +1,188 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ampom/internal/simtime"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	times := []simtime.Time{5, 1, 3, 2, 4}
+	for _, at := range times {
+		q.Push(at, func() {})
+	}
+	for want := simtime.Time(1); want <= 5; want++ {
+		e := q.Pop()
+		if e == nil || e.At != want {
+			t.Fatalf("pop = %v, want %v", e, want)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop from empty queue should be nil")
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Push(7, func() { order = append(order, i) })
+	}
+	for {
+		e := q.Pop()
+		if e == nil {
+			break
+		}
+		e.Fn()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Fatal("peek on empty queue should be nil")
+	}
+	q.Push(9, func() {})
+	e := q.Push(2, func() {})
+	if got := q.Peek(); got != e {
+		t.Fatalf("peek = %v, want earliest", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (peek must not remove)", q.Len())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	a := q.Push(1, func() {})
+	b := q.Push(2, func() {})
+	c := q.Push(3, func() {})
+	if !q.Cancel(b) {
+		t.Fatal("cancel of pending event returned false")
+	}
+	if q.Cancel(b) {
+		t.Fatal("second cancel returned true")
+	}
+	if !b.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	if got := q.Pop(); got != a {
+		t.Fatalf("pop = %v, want a", got)
+	}
+	if got := q.Pop(); got != c {
+		t.Fatalf("pop = %v, want c", got)
+	}
+	if q.Cancel(a) {
+		t.Fatal("cancel of popped event returned true")
+	}
+	if q.Cancel(nil) {
+		t.Fatal("cancel(nil) returned true")
+	}
+}
+
+func TestCancelHead(t *testing.T) {
+	var q Queue
+	head := q.Push(1, func() {})
+	q.Push(2, func() {})
+	q.Push(3, func() {})
+	q.Cancel(head)
+	if got := q.Pop(); got.At != 2 {
+		t.Fatalf("after cancelling head, pop.At = %v, want 2", got.At)
+	}
+}
+
+func TestCancelLast(t *testing.T) {
+	var q Queue
+	q.Push(1, func() {})
+	last := q.Push(2, func() {})
+	q.Cancel(last)
+	if q.Len() != 1 {
+		t.Fatalf("len = %d, want 1", q.Len())
+	}
+}
+
+func TestLen(t *testing.T) {
+	var q Queue
+	for i := 0; i < 100; i++ {
+		q.Push(simtime.Time(i), func() {})
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := 0; i < 40; i++ {
+		q.Pop()
+	}
+	if q.Len() != 60 {
+		t.Fatalf("len after pops = %d", q.Len())
+	}
+}
+
+// TestPopsSortedProperty: any multiset of times pops in non-decreasing
+// order, with ties in insertion order.
+func TestPopsSortedProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var q Queue
+		for _, r := range raw {
+			q.Push(simtime.Time(r%1000), func() {})
+		}
+		var prevAt simtime.Time = -1
+		var prevSeq uint64
+		for {
+			e := q.Pop()
+			if e == nil {
+				break
+			}
+			if e.At < prevAt {
+				return false
+			}
+			if e.At == prevAt && e.Seq < prevSeq {
+				return false
+			}
+			prevAt, prevSeq = e.At, e.Seq
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelRandomProperty: cancelling an arbitrary subset leaves exactly
+// the survivors, still sorted.
+func TestCancelRandomProperty(t *testing.T) {
+	f := func(raw []uint16, mask uint64) bool {
+		var q Queue
+		var events []*Event
+		for _, r := range raw {
+			events = append(events, q.Push(simtime.Time(r), func() {}))
+		}
+		var survivors []simtime.Time
+		for i, e := range events {
+			if mask&(1<<(uint(i)%64)) != 0 && i%3 == 0 {
+				q.Cancel(e)
+			} else {
+				survivors = append(survivors, e.At)
+			}
+		}
+		sort.Slice(survivors, func(i, j int) bool { return survivors[i] < survivors[j] })
+		for _, want := range survivors {
+			e := q.Pop()
+			if e == nil || e.At != want {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"fmt"
+
+	"ampom/internal/core"
+	"ampom/internal/hpcc"
+	"ampom/internal/migrate"
+)
+
+// Ablations go beyond the paper: they isolate the design choices DESIGN.md
+// calls out by re-running representative workloads with one knob changed.
+
+// ablate runs one AMPoM experiment with a custom prefetcher configuration.
+func (m *Matrix) ablate(k hpcc.Kernel, mb int64, cfg core.Config, tag string) *migrate.Result {
+	key := runKey{k, mb, migrate.AMPoM, "ablate:" + tag}
+	if r, ok := m.runs[key]; ok {
+		return r
+	}
+	w, err := hpcc.Build(hpcc.Entry{Kernel: k, ProblemSize: mb, MemoryMB: mb}, m.cfg.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("harness: ablation workload: %v", err))
+	}
+	r, err := migrate.Run(migrate.RunConfig{Workload: w, Scheme: migrate.AMPoM, AMPoM: cfg, Seed: m.cfg.Seed})
+	if err != nil {
+		panic(fmt.Sprintf("harness: ablation run: %v", err))
+	}
+	m.runs[key] = r
+	return r
+}
+
+// AblationBaseline compares the §5.3 read-ahead baseline against pure
+// Eq. 3 sizing on RandomAccess — the workload whose S ≈ 0 makes the
+// baseline the only source of prefetching.
+func (m *Matrix) AblationBaseline() *Table {
+	t := &Table{
+		Title:   "Ablation: read-ahead baseline (RandomAccess)",
+		Caption: "BaselineScore floors the zone size when the pattern is unclear (§5.3)",
+		Header:  []string{"baseline", "total (s)", "fault requests", "prefetched/request"},
+	}
+	mb := scaled(513, m.cfg.Scale)
+	for _, bl := range []float64{-1, 0.2, core.DefaultBaselineScore, 0.9} {
+		cfg := core.DefaultConfig()
+		cfg.BaselineScore = bl
+		r := m.ablate(hpcc.RandomAccess, mb, cfg, fmt.Sprintf("bl=%.2f", bl))
+		name := fmt.Sprintf("%.2f", bl)
+		if bl < 0 {
+			name = "off"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
+			fmt.Sprintf("%.1f", r.PrefetchPerRequest),
+		})
+	}
+	return t
+}
+
+// AblationWindow sweeps the lookback window length l on DGEMM.
+func (m *Matrix) AblationWindow() *Table {
+	t := &Table{
+		Title:   "Ablation: lookback window length l (DGEMM)",
+		Caption: "the paper fixes l = 20 'so that the analysis overhead could be limited' (§4)",
+		Header:  []string{"l", "total (s)", "fault requests", "overhead (%)"},
+	}
+	mb := scaled(575, m.cfg.Scale)
+	for _, l := range []int{5, 10, 20, 40, 80} {
+		cfg := core.DefaultConfig()
+		cfg.WindowLen = l
+		r := m.ablate(hpcc.DGEMM, mb, cfg, fmt.Sprintf("l=%d", l))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(l), fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
+			fmt.Sprintf("%.3f", r.OverheadPct),
+		})
+	}
+	return t
+}
+
+// AblationDMax sweeps the maximum stride searched on STREAM, whose
+// interleaved sweeps need d ≥ 3 to be recognised.
+func (m *Matrix) AblationDMax() *Table {
+	t := &Table{
+		Title:   "Ablation: maximum stride dmax (STREAM)",
+		Caption: "STREAM's triad is three interleaved sequential streams — a stride-3 pattern",
+		Header:  []string{"dmax", "total (s)", "fault requests", "mean S"},
+	}
+	mb := scaled(575, m.cfg.Scale)
+	for _, d := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.DMax = d
+		r := m.ablate(hpcc.STREAM, mb, cfg, fmt.Sprintf("dmax=%d", d))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(d), fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
+			fmt.Sprintf("%.3f", r.MeanScore),
+		})
+	}
+	return t
+}
+
+// AblationCap sweeps the per-fault prefetch cap on STREAM, the kernel that
+// drives the deepest zones.
+func (m *Matrix) AblationCap() *Table {
+	t := &Table{
+		Title:   "Ablation: prefetch cap MaxPrefetch (STREAM)",
+		Caption: "a safety valve against mis-estimated N flooding the network",
+		Header:  []string{"cap", "total (s)", "fault requests", "prefetched/request"},
+	}
+	mb := scaled(575, m.cfg.Scale)
+	for _, cap := range []int{8, 32, 128, 512} {
+		cfg := core.DefaultConfig()
+		cfg.MaxPrefetch = cap
+		r := m.ablate(hpcc.STREAM, mb, cfg, fmt.Sprintf("cap=%d", cap))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(cap), fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
+			fmt.Sprintf("%.1f", r.PrefetchPerRequest),
+		})
+	}
+	return t
+}
+
+// AblationSchemes compares all five migration mechanisms — the paper's
+// three plus the FFA-with-file-server and V-system precopy baselines its
+// Figure 2 and related work describe — on the largest DGEMM.
+func (m *Matrix) AblationSchemes() *Table {
+	t := &Table{
+		Title:   "Ablation: migration mechanisms (DGEMM)",
+		Caption: "the paper's three schemes plus the Figure 2 / related-work baselines",
+		Header:  []string{"scheme", "freeze (s)", "precopy (s)", "total (s)", "fault requests", "MB moved"},
+	}
+	mb := scaled(575, m.cfg.Scale)
+	for _, s := range migrate.AllSchemes() {
+		key := runKey{hpcc.DGEMM, mb, s, "schemes"}
+		r, ok := m.runs[key]
+		if !ok {
+			w, err := hpcc.Build(hpcc.Entry{Kernel: hpcc.DGEMM, ProblemSize: mb, MemoryMB: mb}, m.cfg.Seed)
+			if err != nil {
+				panic(fmt.Sprintf("harness: scheme ablation workload: %v", err))
+			}
+			r, err = migrate.Run(migrate.RunConfig{Workload: w, Scheme: s, Seed: m.cfg.Seed})
+			if err != nil {
+				panic(fmt.Sprintf("harness: scheme ablation run: %v", err))
+			}
+			m.runs[key] = r
+		}
+		t.Rows = append(t.Rows, []string{
+			s.String(), fmtSec(r.Freeze.Seconds()), fmtSec(r.Precopy.Seconds()),
+			fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
+			fmt.Sprintf("%.1f", float64(r.BytesToDest)/1e6),
+		})
+	}
+	return t
+}
+
+// AllAblations renders every ablation table.
+func (m *Matrix) AllAblations() []*Table {
+	return []*Table{
+		m.AblationSchemes(), m.AblationBaseline(), m.AblationWindow(),
+		m.AblationDMax(), m.AblationCap(),
+	}
+}

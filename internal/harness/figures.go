@@ -1,0 +1,264 @@
+package harness
+
+import (
+	"fmt"
+
+	"ampom/internal/hpcc"
+	"ampom/internal/migrate"
+	"ampom/internal/netmodel"
+)
+
+// Table1 reproduces the paper's Table 1: problem and memory sizes of the
+// HPCC configurations (scaled by the campaign scale).
+func (m *Matrix) Table1() *Table {
+	t := &Table{
+		Title:   "Table 1: Problem and memory sizes of HPCC",
+		Caption: fmt.Sprintf("(scale 1/%d of the paper's configuration)", m.cfg.Scale),
+		Header:  []string{"kernel", "problem size", "memory size (MB)"},
+	}
+	for _, k := range sortKernels() {
+		for _, e := range m.entries(k) {
+			t.Rows = append(t.Rows, []string{
+				k.String(), fmt.Sprint(e.ProblemSize), fmt.Sprint(e.MemoryMB),
+			})
+		}
+	}
+	return t
+}
+
+// Figure4 reproduces the locality quadrants: measured spatial and temporal
+// locality of each kernel's reference stream.
+func (m *Matrix) Figure4() *Table {
+	t := &Table{
+		Title:   "Figure 4: HPCC kernels and localities",
+		Caption: "measured page-level locality of the modelled kernels",
+		Header:  []string{"kernel", "spatial score", "temporal score", "quadrant"},
+	}
+	for _, k := range sortKernels() {
+		e := m.entries(k)[0]
+		w := hpcc.MustBuild(e, m.cfg.Seed)
+		s, tmp := hpcc.Locality(w)
+		quad := quadrant(s, tmp)
+		t.Rows = append(t.Rows, []string{
+			k.String(), fmt.Sprintf("%.3f", s), fmt.Sprintf("%.3f", tmp), quad,
+		})
+	}
+	return t
+}
+
+func quadrant(spatial, temporal float64) string {
+	sp := "low-spatial"
+	if spatial >= 0.3 {
+		sp = "high-spatial"
+	}
+	tm := "low-temporal"
+	if temporal >= 0.45 {
+		tm = "high-temporal"
+	}
+	return sp + "/" + tm
+}
+
+// Figure5 reproduces the migration freeze times of AMPoM, openMosix and
+// NoPrefetch across all kernels and sizes.
+func (m *Matrix) Figure5() *Table {
+	t := &Table{
+		Title:   "Figure 5: Migration latencies (freeze time, seconds)",
+		Caption: "per kernel and program size; log-scale plot in the paper",
+		Header:  []string{"kernel", "size (MB)", "AMPoM", "openMosix", "NoPrefetch"},
+	}
+	fe := netmodel.FastEthernet()
+	for _, k := range sortKernels() {
+		for _, mb := range m.sortedSizes(k) {
+			am := m.run(k, mb, migrate.AMPoM, fe)
+			om := m.run(k, mb, migrate.OpenMosix, fe)
+			np := m.run(k, mb, migrate.NoPrefetch, fe)
+			t.Rows = append(t.Rows, []string{
+				k.String(), fmt.Sprint(mb),
+				fmtSec(am.Freeze.Seconds()), fmtSec(om.Freeze.Seconds()), fmtSec(np.Freeze.Seconds()),
+			})
+		}
+	}
+	return t
+}
+
+// Figure6 reproduces the total execution times.
+func (m *Matrix) Figure6() *Table {
+	t := &Table{
+		Title:   "Figure 6: Application performance (total execution time, seconds)",
+		Caption: "init + freeze + post-migration execution",
+		Header:  []string{"kernel", "size (MB)", "AMPoM", "openMosix", "NoPrefetch", "AMPoM vs oM", "NoPref vs oM"},
+	}
+	fe := netmodel.FastEthernet()
+	for _, k := range sortKernels() {
+		for _, mb := range m.sortedSizes(k) {
+			am := m.run(k, mb, migrate.AMPoM, fe)
+			om := m.run(k, mb, migrate.OpenMosix, fe)
+			np := m.run(k, mb, migrate.NoPrefetch, fe)
+			rel := func(r *migrate.Result) string {
+				return fmtPct(100 * (r.Total.Seconds() - om.Total.Seconds()) / om.Total.Seconds())
+			}
+			t.Rows = append(t.Rows, []string{
+				k.String(), fmt.Sprint(mb),
+				fmtSec(am.Total.Seconds()), fmtSec(om.Total.Seconds()), fmtSec(np.Total.Seconds()),
+				rel(am), rel(np),
+			})
+		}
+	}
+	return t
+}
+
+// Figure7 reproduces the page-fault-request counts of AMPoM vs NoPrefetch.
+func (m *Matrix) Figure7() *Table {
+	t := &Table{
+		Title:   "Figure 7: Number of page fault requests",
+		Caption: "demand requests reaching the home node; log-scale plot in the paper",
+		Header:  []string{"kernel", "size (MB)", "AMPoM", "NoPrefetch", "prevented"},
+	}
+	fe := netmodel.FastEthernet()
+	for _, k := range sortKernels() {
+		for _, mb := range m.sortedSizes(k) {
+			am := m.run(k, mb, migrate.AMPoM, fe)
+			np := m.run(k, mb, migrate.NoPrefetch, fe)
+			t.Rows = append(t.Rows, []string{
+				k.String(), fmt.Sprint(mb),
+				fmt.Sprint(am.HardFaults), fmt.Sprint(np.HardFaults),
+				fmt.Sprintf("%.1f%%", 100*am.FaultPrevention(np.HardFaults)),
+			})
+		}
+	}
+	return t
+}
+
+// Figure8 reproduces the prefetch aggressiveness: pages prefetched per page
+// fault request.
+func (m *Matrix) Figure8() *Table {
+	t := &Table{
+		Title:   "Figure 8: Prefetched pages per page fault (request)",
+		Caption: "AMPoM adapts aggressiveness to access pattern and paging rate",
+		Header:  []string{"kernel", "size (MB)", "prefetched/request", "mean N", "mean S"},
+	}
+	fe := netmodel.FastEthernet()
+	for _, k := range sortKernels() {
+		for _, mb := range m.sortedSizes(k) {
+			am := m.run(k, mb, migrate.AMPoM, fe)
+			t.Rows = append(t.Rows, []string{
+				k.String(), fmt.Sprint(mb),
+				fmt.Sprintf("%.1f", am.PrefetchPerRequest),
+				fmt.Sprintf("%.1f", am.MeanN),
+				fmt.Sprintf("%.3f", am.MeanScore),
+			})
+		}
+	}
+	return t
+}
+
+// Figure9 reproduces the broadband adaptation experiment: execution time
+// increase vs openMosix at 100 Mb/s and at tc-shaped 6 Mb/s / 2 ms.
+func (m *Matrix) Figure9() *Table {
+	t := &Table{
+		Title:   "Figure 9: Adaptation to network performances",
+		Caption: "% increase in execution time relative to openMosix on the same network",
+		Header:  []string{"workload", "network", "AMPoM", "NoPrefetch"},
+	}
+	type cfg struct {
+		k  hpcc.Kernel
+		mb int64
+	}
+	cfgs := []cfg{
+		{hpcc.DGEMM, scaled(115, m.cfg.Scale)},
+		{hpcc.RandomAccess, scaled(129, m.cfg.Scale)},
+	}
+	for _, c := range cfgs {
+		for _, net := range []netmodel.Profile{netmodel.FastEthernet(), netmodel.Broadband()} {
+			om := m.run(c.k, c.mb, migrate.OpenMosix, net)
+			am := m.run(c.k, c.mb, migrate.AMPoM, net)
+			np := m.run(c.k, c.mb, migrate.NoPrefetch, net)
+			rel := func(r *migrate.Result) string {
+				return fmtPct(100 * (r.Total.Seconds() - om.Total.Seconds()) / om.Total.Seconds())
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%v(%dMB)", c.k, c.mb), net.Name, rel(am), rel(np),
+			})
+		}
+	}
+	return t
+}
+
+func scaled(mb, scale int64) int64 {
+	v := mb / scale
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Figure10 reproduces the small-working-set experiment: modified DGEMM that
+// allocates the full footprint but works on a subset.
+func (m *Matrix) Figure10() *Table {
+	alloc := scaled(575, m.cfg.Scale)
+	t := &Table{
+		Title:   "Figure 10: Process migration with smaller working sets",
+		Caption: fmt.Sprintf("modified DGEMM: %d MB allocated, working set varies", alloc),
+		Header:  []string{"working set (MB)", "openMosix", "AMPoM", "AMPoM/openMosix"},
+	}
+	for _, frac := range []int64{5, 4, 3, 2, 1} { // 1/5 .. full
+		ws := alloc / frac
+		if ws < 1 {
+			ws = 1
+		}
+		om := m.runWorkingSet(alloc, ws, migrate.OpenMosix)
+		am := m.runWorkingSet(alloc, ws, migrate.AMPoM)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(ws),
+			fmtSec(om.Total.Seconds()), fmtSec(am.Total.Seconds()),
+			fmt.Sprintf("%.2f", am.Total.Seconds()/om.Total.Seconds()),
+		})
+	}
+	return t
+}
+
+// runWorkingSet memoises the §5.6 variant runs.
+func (m *Matrix) runWorkingSet(alloc, ws int64, scheme migrate.Scheme) *migrate.Result {
+	key := runKey{hpcc.DGEMM, alloc*10000 + ws, scheme, "ws"}
+	if r, ok := m.runs[key]; ok {
+		return r
+	}
+	w, err := hpcc.BuildWorkingSet(alloc, ws, m.cfg.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("harness: working-set workload: %v", err))
+	}
+	r, err := migrate.Run(migrate.RunConfig{Workload: w, Scheme: scheme, Seed: m.cfg.Seed})
+	if err != nil {
+		panic(fmt.Sprintf("harness: working-set run: %v", err))
+	}
+	m.runs[key] = r
+	return r
+}
+
+// Figure11 reproduces the AMPoM analysis overhead: time spent determining
+// the dependent zone as a percentage of execution time.
+func (m *Matrix) Figure11() *Table {
+	t := &Table{
+		Title:   "Figure 11: Overheads of AMPoM",
+		Caption: "dependent-zone analysis time as % of total execution time",
+		Header:  []string{"kernel", "size (MB)", "overhead (%)"},
+	}
+	fe := netmodel.FastEthernet()
+	for _, k := range sortKernels() {
+		for _, mb := range m.sortedSizes(k) {
+			am := m.run(k, mb, migrate.AMPoM, fe)
+			t.Rows = append(t.Rows, []string{
+				k.String(), fmt.Sprint(mb), fmt.Sprintf("%.3f", am.OverheadPct),
+			})
+		}
+	}
+	return t
+}
+
+// AllFigures renders every table and figure in paper order.
+func (m *Matrix) AllFigures() []*Table {
+	return []*Table{
+		m.Table1(), m.Figure4(), m.Figure5(), m.Figure6(), m.Figure7(),
+		m.Figure8(), m.Figure9(), m.Figure10(), m.Figure11(),
+	}
+}

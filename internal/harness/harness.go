@@ -1,0 +1,173 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§5): it runs the kernel × size × scheme experiment matrix on
+// the simulated Gideon 300 cluster and formats the same rows and series the
+// paper reports. Runs are memoised, so figures that share runs (5, 6, 7, 8,
+// 11 all come from one matrix) pay for them once.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ampom/internal/hpcc"
+	"ampom/internal/migrate"
+	"ampom/internal/netmodel"
+)
+
+// Config scopes an experiment campaign.
+type Config struct {
+	// Scale divides every Table 1 footprint (1 = paper scale, 16 = laptop
+	// smoke scale). Freeze times and totals shrink accordingly, but every
+	// qualitative shape survives scaling.
+	Scale int64
+	// Seed drives all stochastic components.
+	Seed uint64
+}
+
+// DefaultConfig runs at paper scale.
+func DefaultConfig() Config { return Config{Scale: 1, Seed: 42} }
+
+func (c Config) normalised() Config {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// runKey identifies one memoised run.
+type runKey struct {
+	kernel  hpcc.Kernel
+	mb      int64
+	scheme  migrate.Scheme
+	network string
+}
+
+// Matrix memoises experiment runs for one configuration.
+type Matrix struct {
+	cfg  Config
+	runs map[runKey]*migrate.Result
+}
+
+// NewMatrix returns an empty run cache for cfg.
+func NewMatrix(cfg Config) *Matrix {
+	return &Matrix{cfg: cfg.normalised(), runs: make(map[runKey]*migrate.Result)}
+}
+
+// Config returns the campaign configuration.
+func (m *Matrix) Config() Config { return m.cfg }
+
+// entries returns the scaled Table 1 rows of one kernel.
+func (m *Matrix) entries(k hpcc.Kernel) []hpcc.Entry {
+	rows := hpcc.CatalogueFor(k)
+	out := make([]hpcc.Entry, len(rows))
+	for i, e := range rows {
+		out[i] = hpcc.Scaled(e, m.cfg.Scale)
+	}
+	return out
+}
+
+// run executes (and memoises) one experiment.
+func (m *Matrix) run(k hpcc.Kernel, mb int64, scheme migrate.Scheme, net netmodel.Profile) *migrate.Result {
+	key := runKey{k, mb, scheme, net.Name}
+	if r, ok := m.runs[key]; ok {
+		return r
+	}
+	w, err := hpcc.Build(hpcc.Entry{Kernel: k, ProblemSize: mb, MemoryMB: mb}, m.cfg.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("harness: building %v/%dMB: %v", k, mb, err))
+	}
+	r, err := migrate.Run(migrate.RunConfig{
+		Workload: w,
+		Scheme:   scheme,
+		Network:  net,
+		Seed:     m.cfg.Seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: running %v/%dMB/%v: %v", k, mb, scheme, err))
+	}
+	m.runs[key] = r
+	return r
+}
+
+// Table is a rendered experiment artefact: a title, a caption tying it to
+// the paper, column headers and formatted rows.
+type Table struct {
+	Title   string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sortKernels returns the kernels in the paper's presentation order.
+func sortKernels() []hpcc.Kernel { return hpcc.Kernels() }
+
+// fmtSec formats seconds with ms precision.
+func fmtSec(sec float64) string { return fmt.Sprintf("%.3f", sec) }
+
+// fmtPct formats a percentage.
+func fmtPct(p float64) string { return fmt.Sprintf("%+.1f%%", p) }
+
+// sortedSizes returns the distinct scaled sizes of a kernel, ascending.
+func (m *Matrix) sortedSizes(k hpcc.Kernel) []int64 {
+	var sizes []int64
+	for _, e := range m.entries(k) {
+		sizes = append(sizes, e.MemoryMB)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	return sizes
+}

@@ -1,0 +1,45 @@
+package hpcc
+
+import (
+	"math"
+
+	"ampom/internal/simtime"
+)
+
+// Base compute-time curves, calibrated against the paper's Figure 6 on the
+// Gideon 300 testbed (2 GHz Pentium 4, all pages local):
+//
+//   - DGEMM:        ≈56 s of pure compute at 575 MB, growing ~footprint^1.5
+//     (O(n³) flops over O(n²) data);
+//   - STREAM:       ≈21 s at 575 MB, linear (pure bandwidth kernel);
+//   - RandomAccess: ≈117 s at 513 MB, linear in table size (GUPS updates);
+//   - FFT:          ≈32 s at 513 MB, ~n·log n.
+//
+// These anchors make the simulated openMosix totals (freeze + compute)
+// land on the paper's curves; every scheme comparison then follows from
+// mechanism, not fitting.
+
+func baseTime(k Kernel, mb int64) simtime.Duration {
+	f := float64(mb)
+	var secs float64
+	switch k {
+	case DGEMM:
+		secs = 56 * math.Pow(f/575, 1.5)
+	case STREAM:
+		secs = 20.8 * f / 575
+	case RandomAccess:
+		secs = 117 * f / 513
+	case FFT:
+		ratio := f / 513
+		secs = 32 * ratio * (1 + 0.15*math.Log2(math.Max(ratio, 1e-3))/math.Log2(513))
+	default:
+		secs = f / 10
+	}
+	return simtime.FromSeconds(secs)
+}
+
+// initTime models the pre-migration allocate-and-initialise phase: filling
+// memory at a calibrated ~400 MB/s on the P4 (memset plus data generation).
+func initTime(mb int64) simtime.Duration {
+	return simtime.FromSeconds(float64(mb) / 400)
+}

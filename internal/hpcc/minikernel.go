@@ -1,0 +1,191 @@
+package hpcc
+
+import (
+	"math"
+
+	"ampom/internal/memory"
+	"ampom/internal/prng"
+)
+
+// Mini-kernels: small, *real* implementations of the four HPCC kernels,
+// instrumented to record the page-level reference stream their actual
+// memory accesses produce. They exist to validate the synthetic workload
+// models: the tests check that each generator lands in the same Figure 4
+// locality quadrant as the real computation it stands for.
+//
+// The recorder maps element indices to pages assuming 8-byte elements
+// (512 per 4 KiB page), the layout of the double-precision HPCC kernels.
+
+// elemsPerPage is the number of float64 elements per page.
+const elemsPerPage = memory.PageSize / 8
+
+// recorder captures page-level references of a real kernel run. Arrays are
+// registered with a page offset so distinct arrays occupy distinct page
+// ranges, as they do in a real address space.
+type recorder struct {
+	pages []memory.PageNum
+	last  memory.PageNum
+	prime bool
+}
+
+// touch records element i of an array starting at page base.
+func (r *recorder) touch(base memory.PageNum, i int) {
+	p := base + memory.PageNum(i/elemsPerPage)
+	// Collapse consecutive repeats at record time: within-page runs are
+	// temporal locality the page-level stream does not distinguish.
+	if r.prime && p == r.last {
+		return
+	}
+	r.pages = append(r.pages, p)
+	r.last = p
+	r.prime = true
+}
+
+// MiniDGEMM multiplies two n×n matrices the blocked way (block size b) and
+// returns the recorded page reference stream. A, B and C live at distinct
+// page bases.
+func MiniDGEMM(n, b int) []memory.PageNum {
+	if b <= 0 || b > n {
+		b = n
+	}
+	a := make([]float64, n*n)
+	bb := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.5
+		bb[i] = float64(i%5) * 0.25
+	}
+	matPages := memory.PageNum((n*n + elemsPerPage - 1) / elemsPerPage)
+	aBase, bBase, cBase := memory.PageNum(0), matPages, 2*matPages
+
+	var rec recorder
+	for jj := 0; jj < n; jj += b {
+		for kk := 0; kk < n; kk += b {
+			for i := 0; i < n; i++ {
+				for k := kk; k < min(kk+b, n); k++ {
+					aik := a[i*n+k]
+					rec.touch(aBase, i*n+k)
+					for j := jj; j < min(jj+b, n); j++ {
+						rec.touch(bBase, k*n+j)
+						c[i*n+j] += aik * bb[k*n+j]
+						rec.touch(cBase, i*n+j)
+					}
+				}
+			}
+		}
+	}
+	return rec.pages
+}
+
+// MiniSTREAM runs the four STREAM operations over arrays of n elements for
+// iters iterations and returns the page stream.
+func MiniSTREAM(n, iters int) []memory.PageNum {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+	}
+	arrPages := memory.PageNum((n + elemsPerPage - 1) / elemsPerPage)
+	aBase, bBase, cBase := memory.PageNum(0), arrPages, 2*arrPages
+
+	var rec recorder
+	const scalar = 3.0
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ { // Copy: c = a
+			rec.touch(aBase, i)
+			c[i] = a[i]
+			rec.touch(cBase, i)
+		}
+		for i := 0; i < n; i++ { // Scale: b = s*c
+			rec.touch(cBase, i)
+			b[i] = scalar * c[i]
+			rec.touch(bBase, i)
+		}
+		for i := 0; i < n; i++ { // Add: c = a + b
+			rec.touch(aBase, i)
+			rec.touch(bBase, i)
+			c[i] = a[i] + b[i]
+			rec.touch(cBase, i)
+		}
+		for i := 0; i < n; i++ { // Triad: a = b + s*c
+			rec.touch(bBase, i)
+			rec.touch(cBase, i)
+			a[i] = b[i] + scalar*c[i]
+			rec.touch(aBase, i)
+		}
+	}
+	return rec.pages
+}
+
+// MiniRandomAccess performs updates random xor-updates over a table of n
+// 64-bit words (GUPS) and returns the page stream.
+func MiniRandomAccess(n, updates int, seed uint64) []memory.PageNum {
+	table := make([]uint64, n)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	rng := prng.New(seed)
+	var rec recorder
+	for u := 0; u < updates; u++ {
+		ran := rng.Uint64()
+		i := int(ran % uint64(n))
+		table[i] ^= ran
+		rec.touch(0, i)
+	}
+	return rec.pages
+}
+
+// MiniFFT computes an in-place radix-2 FFT over n complex points (n a
+// power of two), recording the page stream of its real/imaginary arrays —
+// the bit-reversal permutation followed by the log n butterfly passes.
+func MiniFFT(n int) []memory.PageNum {
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = math.Sin(float64(i))
+	}
+	var rec recorder
+
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			rec.touch(0, i)
+			rec.touch(0, j)
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+	}
+	// Butterfly passes.
+	for size := 2; size <= n; size <<= 1 {
+		ang := -2 * math.Pi / float64(size)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += size {
+			cwr, cwi := 1.0, 0.0
+			for k := 0; k < size/2; k++ {
+				i, j := start+k, start+k+size/2
+				rec.touch(0, i)
+				rec.touch(0, j)
+				tr := re[j]*cwr - im[j]*cwi
+				ti := re[j]*cwi + im[j]*cwr
+				re[j], im[j] = re[i]-tr, im[i]-ti
+				re[i], im[i] = re[i]+tr, im[i]+ti
+				cwr, cwi = cwr*wr-cwi*wi, cwr*wi+cwi*wr
+			}
+		}
+	}
+	return rec.pages
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

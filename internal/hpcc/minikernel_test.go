@@ -1,0 +1,144 @@
+package hpcc
+
+import (
+	"testing"
+
+	"ampom/internal/memory"
+	"ampom/internal/trace"
+)
+
+// The mini-kernels are real computations; these tests validate that the
+// synthetic workload generators land in the same Figure 4 locality
+// quadrants as the genuine article.
+//
+// Real kernels touch elements, alternating between operand arrays hundreds
+// of times per page; DedupeRecent reduces their streams to the page-level
+// view AMPoM's window actually observes before scoring.
+
+const dedupeWindow = 8
+
+func pageView(ps []memory.PageNum) []memory.PageNum {
+	return trace.DedupeRecent(ps, dedupeWindow)
+}
+
+func TestMiniSTREAMLocality(t *testing.T) {
+	ps := pageView(MiniSTREAM(64*elemsPerPage, 2)) // 64 pages per array
+	s := trace.SlidingSpatialScore(ps, 20, 4)
+	tmp := trace.TemporalScore(ps, 192*2/5)
+	if s < 0.3 {
+		t.Fatalf("real STREAM spatial = %.3f, want high", s)
+	}
+	if tmp > 0.3 {
+		t.Fatalf("real STREAM temporal = %.3f, want low", tmp)
+	}
+}
+
+func TestMiniDGEMMLocality(t *testing.T) {
+	ps := pageView(MiniDGEMM(128, 32)) // 32 pages per matrix, blocked 32
+	s := trace.SlidingSpatialScore(ps, 20, 4)
+	tmp := trace.TemporalScore(ps, 38)
+	if s < 0.3 {
+		t.Fatalf("real DGEMM spatial = %.3f, want moderate+", s)
+	}
+	if tmp < 0.45 {
+		t.Fatalf("real DGEMM temporal = %.3f, want high (blocked reuse)", tmp)
+	}
+}
+
+func TestMiniRandomAccessLocality(t *testing.T) {
+	n := 128 * elemsPerPage
+	ps := pageView(MiniRandomAccess(n, 4096, 5))
+	s := trace.SlidingSpatialScore(ps, 20, 4)
+	if s > 0.15 {
+		t.Fatalf("real GUPS spatial = %.3f, want ≈0", s)
+	}
+}
+
+func TestMiniFFTLocality(t *testing.T) {
+	// The in-place radix-2 FFT re-sweeps its whole footprint every pass
+	// (reuse distance ≈ 2× the footprint) and its butterfly strides are
+	// page-sized or larger — Figure 4's low-spatial/high-temporal corner,
+	// exactly where the paper places FFT.
+	ps := pageView(MiniFFT(1 << 16)) // 2^16 points over 128 pages
+	s := trace.SlidingSpatialScore(ps, 20, 4)
+	tmp := trace.TemporalScore(ps, 256)
+	if tmp < 0.45 {
+		t.Fatalf("real FFT temporal = %.3f, want high (pass reuse)", tmp)
+	}
+	if s > 0.15 {
+		t.Fatalf("real FFT spatial = %.3f, want low (butterfly strides)", s)
+	}
+}
+
+func TestMiniKernelsCoverFootprint(t *testing.T) {
+	// Each mini-kernel touches its whole footprint, like the real HPCC.
+	cases := []struct {
+		name  string
+		ps    []memory.PageNum
+		pages int64
+	}{
+		{"STREAM", MiniSTREAM(32*elemsPerPage, 1), 3 * 32},
+		{"DGEMM", MiniDGEMM(48, 16), 3 * 5},
+		{"FFT", MiniFFT(1 << 14), 32},
+	}
+	for _, c := range cases {
+		got := trace.DistinctPages(c.ps)
+		if got < c.pages*9/10 {
+			t.Errorf("%s touched %d of %d pages", c.name, got, c.pages)
+		}
+	}
+}
+
+// TestGeneratorsMatchRealKernels is the validation headline: for each
+// kernel, the synthetic generator and the real mini-kernel agree on the
+// relative locality orderings that drive AMPoM's behaviour.
+func TestGeneratorsMatchRealKernels(t *testing.T) {
+	type scores struct{ spatial, temporal float64 }
+	real := map[Kernel]scores{}
+
+	rs := pageView(MiniSTREAM(64*elemsPerPage, 2))
+	rd := pageView(MiniDGEMM(128, 32))
+	rr := pageView(MiniRandomAccess(128*elemsPerPage, 4096, 5))
+	rf := pageView(MiniFFT(1 << 16))
+	real[STREAM] = scores{trace.SlidingSpatialScore(rs, 20, 4), trace.TemporalScore(rs, 76)}
+	real[DGEMM] = scores{trace.SlidingSpatialScore(rd, 20, 4), trace.TemporalScore(rd, 38)}
+	real[RandomAccess] = scores{trace.SlidingSpatialScore(rr, 20, 4), trace.TemporalScore(rr, 51)}
+	real[FFT] = scores{trace.SlidingSpatialScore(rf, 20, 4), trace.TemporalScore(rf, 256)}
+
+	synth := map[Kernel]scores{}
+	for _, k := range Kernels() {
+		w := MustBuild(Scaled(CatalogueFor(k)[0], 16), 5)
+		s, tmp := Locality(w)
+		synth[k] = scores{s, tmp}
+	}
+
+	// Spatial ordering: STREAM clearly above RandomAccess in both worlds.
+	if !(real[STREAM].spatial > real[RandomAccess].spatial+0.1) {
+		t.Errorf("real kernels: STREAM spatial %.3f not ≫ RandomAccess %.3f",
+			real[STREAM].spatial, real[RandomAccess].spatial)
+	}
+	if !(synth[STREAM].spatial > synth[RandomAccess].spatial+0.1) {
+		t.Errorf("generators: STREAM spatial %.3f not ≫ RandomAccess %.3f",
+			synth[STREAM].spatial, synth[RandomAccess].spatial)
+	}
+	// Spatial: DGEMM also clearly above RandomAccess in both worlds.
+	if !(real[DGEMM].spatial > real[RandomAccess].spatial+0.1) {
+		t.Errorf("real kernels: DGEMM spatial %.3f not ≫ RandomAccess %.3f",
+			real[DGEMM].spatial, real[RandomAccess].spatial)
+	}
+	if !(synth[DGEMM].spatial > synth[RandomAccess].spatial+0.1) {
+		t.Errorf("generators: DGEMM spatial %.3f not ≫ RandomAccess %.3f",
+			synth[DGEMM].spatial, synth[RandomAccess].spatial)
+	}
+	// Temporal ordering: DGEMM and FFT above STREAM in both worlds.
+	for _, k := range []Kernel{DGEMM, FFT} {
+		if !(real[k].temporal > real[STREAM].temporal) {
+			t.Errorf("real kernels: %v temporal %.3f not above STREAM %.3f",
+				k, real[k].temporal, real[STREAM].temporal)
+		}
+		if !(synth[k].temporal > synth[STREAM].temporal) {
+			t.Errorf("generators: %v temporal %.3f not above STREAM %.3f",
+				k, synth[k].temporal, synth[STREAM].temporal)
+		}
+	}
+}

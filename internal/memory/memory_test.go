@@ -1,0 +1,190 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayout(t *testing.T) {
+	l, err := NewLayout(32, 1000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Pages() != 1048 {
+		t.Fatalf("pages = %d, want 1048", l.Pages())
+	}
+	if l.Bytes() != 1048*PageSize {
+		t.Fatalf("bytes = %d", l.Bytes())
+	}
+	regions := l.Regions()
+	if len(regions) != 3 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	if regions[0].Kind != RegionCode || regions[0].Start != 0 || regions[0].Count != 32 {
+		t.Fatalf("code region = %+v", regions[0])
+	}
+	if regions[1].Kind != RegionHeap || regions[1].Start != 32 || regions[1].Count != 1000 {
+		t.Fatalf("heap region = %+v", regions[1])
+	}
+	if regions[2].Kind != RegionStack || regions[2].Start != 1032 || regions[2].Count != 16 {
+		t.Fatalf("stack region = %+v", regions[2])
+	}
+}
+
+func TestNewLayoutRejectsNonPositive(t *testing.T) {
+	for _, c := range [][3]int64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		if _, err := NewLayout(c[0], c[1], c[2]); err == nil {
+			t.Fatalf("layout %v accepted", c)
+		}
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	l := MustLayout(10, 100, 5)
+	cases := []struct {
+		p    PageNum
+		kind RegionKind
+		ok   bool
+	}{
+		{0, RegionCode, true},
+		{9, RegionCode, true},
+		{10, RegionHeap, true},
+		{109, RegionHeap, true},
+		{110, RegionStack, true},
+		{114, RegionStack, true},
+		{115, 0, false},
+	}
+	for _, c := range cases {
+		r, ok := l.RegionOf(c.p)
+		if ok != c.ok {
+			t.Fatalf("RegionOf(%d) ok = %v", c.p, ok)
+		}
+		if ok && r.Kind != c.kind {
+			t.Fatalf("RegionOf(%d) = %v, want %v", c.p, r.Kind, c.kind)
+		}
+	}
+}
+
+func TestRegionAccessors(t *testing.T) {
+	l := MustLayout(10, 100, 5)
+	h := l.Region(RegionHeap)
+	if h.Start != 10 || h.Count != 100 || h.End() != 110 {
+		t.Fatalf("heap = %+v", h)
+	}
+	if !h.Contains(50) || h.Contains(5) || h.Contains(110) {
+		t.Fatal("Contains wrong")
+	}
+	if !l.Valid(0) || !l.Valid(114) || l.Valid(115) || l.Valid(-1) {
+		t.Fatal("Valid wrong")
+	}
+}
+
+func TestRegionKindString(t *testing.T) {
+	if RegionCode.String() != "code" || RegionHeap.String() != "heap" || RegionStack.String() != "stack" {
+		t.Fatal("region names wrong")
+	}
+}
+
+func TestAddressSpaceStates(t *testing.T) {
+	as := NewAddressSpace(MustLayout(2, 10, 2))
+	if as.CountInState(StateResident) != 14 {
+		t.Fatalf("initial resident = %d", as.CountInState(StateResident))
+	}
+	as.SetState(3, StateRemote)
+	as.SetState(4, StateInFlight)
+	as.SetState(5, StateArrived)
+	if as.State(3) != StateRemote || as.State(4) != StateInFlight || as.State(5) != StateArrived {
+		t.Fatal("states not set")
+	}
+	if as.CountInState(StateResident) != 11 {
+		t.Fatalf("resident = %d, want 11", as.CountInState(StateResident))
+	}
+	// Setting the same state twice must not skew counts.
+	as.SetState(3, StateRemote)
+	if as.CountInState(StateRemote) != 1 {
+		t.Fatalf("remote = %d, want 1", as.CountInState(StateRemote))
+	}
+}
+
+func TestEvictAllToRemote(t *testing.T) {
+	as := NewAddressSpace(MustLayout(2, 10, 2))
+	as.SetState(5, StateArrived)
+	as.EvictAllToRemote()
+	if as.CountInState(StateRemote) != 14 {
+		t.Fatalf("remote = %d, want 14", as.CountInState(StateRemote))
+	}
+	if as.CountInState(StateResident) != 0 || as.CountInState(StateArrived) != 0 {
+		t.Fatal("stale state counts after evict")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	as := NewAddressSpace(MustLayout(2, 10, 2))
+	if as.DirtyPages() != 0 {
+		t.Fatal("fresh space dirty")
+	}
+	as.MarkDirty(3)
+	as.MarkDirty(3) // idempotent
+	as.MarkDirty(7)
+	if as.DirtyPages() != 2 || !as.Dirty(3) || !as.Dirty(7) || as.Dirty(4) {
+		t.Fatalf("dirty = %d", as.DirtyPages())
+	}
+	if as.DirtyBytes() != 2*PageSize {
+		t.Fatalf("dirty bytes = %d", as.DirtyBytes())
+	}
+	as.MarkAllDirty()
+	if as.DirtyPages() != 14 {
+		t.Fatalf("all dirty = %d", as.DirtyPages())
+	}
+}
+
+func TestAddressSpaceBoundsPanic(t *testing.T) {
+	as := NewAddressSpace(MustLayout(1, 1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	as.State(99)
+}
+
+func TestStateString(t *testing.T) {
+	names := map[PageState]string{
+		StateRemote: "remote", StateInFlight: "in-flight",
+		StateArrived: "arrived", StateResident: "resident",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+// StateCountsConsistentProperty: after arbitrary SetState sequences, the
+// per-state counts always sum to the page total and match a direct census.
+func TestStateCountsConsistentProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const pages = 64
+		as := NewAddressSpace(MustLayout(4, pages-8, 4))
+		for _, op := range ops {
+			p := PageNum(op % pages)
+			s := PageState(op / pages % 4)
+			as.SetState(p, s)
+		}
+		var census [4]int64
+		for p := PageNum(0); p < pages; p++ {
+			census[as.State(p)]++
+		}
+		var total int64
+		for s := PageState(0); s < 4; s++ {
+			if as.CountInState(s) != census[s] {
+				return false
+			}
+			total += census[s]
+		}
+		return total == pages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package memory
+
+import "fmt"
+
+// Loc records, in a page-table entry, where a page's data lives.
+type Loc uint8
+
+const (
+	// LocUnmapped: the page is not mapped in the address space.
+	LocUnmapped Loc = iota
+	// LocOrigin: the data is stored at the process's origin (home) node.
+	LocOrigin
+	// LocMigrant: the data is stored at the migrant's current node.
+	LocMigrant
+)
+
+// String names the location.
+func (l Loc) String() string {
+	switch l {
+	case LocUnmapped:
+		return "unmapped"
+	case LocOrigin:
+		return "origin"
+	case LocMigrant:
+		return "migrant"
+	default:
+		return fmt.Sprintf("loc(%d)", uint8(l))
+	}
+}
+
+// Table is a page table: one entry per page of the layout. It serves as
+// both the MPT (at the migrant) and the HPT (at the origin); the TablePair
+// wrapper enforces the update protocol between the two.
+type Table struct {
+	name    string
+	entries []Loc
+	mapped  int64
+}
+
+// NewTable returns a table for n pages with every page mapped at the given
+// initial location.
+func NewTable(name string, n int64, initial Loc) *Table {
+	t := &Table{name: name, entries: make([]Loc, n)}
+	for i := range t.entries {
+		t.entries[i] = initial
+	}
+	if initial != LocUnmapped {
+		t.mapped = n
+	}
+	return t
+}
+
+// Name returns the table's diagnostic name.
+func (t *Table) Name() string { return t.name }
+
+// Pages returns the number of entries.
+func (t *Table) Pages() int64 { return int64(len(t.entries)) }
+
+// Mapped returns the number of mapped entries.
+func (t *Table) Mapped() int64 { return t.mapped }
+
+// Bytes returns the wire size of the table: PTEntrySize bytes per entry
+// (paper §5.2: "the size of an MPT is 6 bytes per page").
+func (t *Table) Bytes() int64 { return int64(len(t.entries)) * PTEntrySize }
+
+// Loc returns the entry for page p.
+func (t *Table) Loc(p PageNum) Loc {
+	t.check(p)
+	return t.entries[p]
+}
+
+// Set overwrites the entry for page p.
+func (t *Table) Set(p PageNum, l Loc) {
+	t.check(p)
+	old := t.entries[p]
+	if old == l {
+		return
+	}
+	if old == LocUnmapped {
+		t.mapped++
+	}
+	if l == LocUnmapped {
+		t.mapped--
+	}
+	t.entries[p] = l
+}
+
+// Clone deep-copies the table under a new name; migration clones the
+// origin's table to create the migrant's MPT.
+func (t *Table) Clone(name string) *Table {
+	c := &Table{name: name, entries: make([]Loc, len(t.entries)), mapped: t.mapped}
+	copy(c.entries, t.entries)
+	return c
+}
+
+func (t *Table) check(p PageNum) {
+	if p < 0 || int64(p) >= int64(len(t.entries)) {
+		panic(fmt.Sprintf("memory: page %d outside table %q of %d entries", p, t.name, len(t.entries)))
+	}
+}
+
+// TablePair binds a migrant's MPT to the origin's HPT and implements the
+// update protocol of paper §2.2:
+//
+//   - page transferred to the migrant → delete the origin copy, update HPT
+//     (and the MPT entry flips to "migrant");
+//   - page created by the migrant → only the MPT is updated;
+//   - page unmapped → both tables update if the data was at the origin,
+//     otherwise only the MPT.
+type TablePair struct {
+	MPT *Table // at the migrant: where each page's data is
+	HPT *Table // at the origin: which pages the origin still stores
+}
+
+// NewTablePair models the instant after migration: every mapped page's data
+// is still at the origin, so the MPT maps all pages to LocOrigin and the
+// HPT records the origin storing all of them.
+func NewTablePair(n int64) *TablePair {
+	return &TablePair{
+		MPT: NewTable("mpt", n, LocOrigin),
+		HPT: NewTable("hpt", n, LocOrigin),
+	}
+}
+
+// TransferToMigrant records that page p's data moved origin→migrant: the
+// origin copy is deleted (paper: "its copy in the original node will be
+// deleted and the HPT will be updated accordingly").
+func (tp *TablePair) TransferToMigrant(p PageNum) error {
+	if tp.MPT.Loc(p) != LocOrigin {
+		return fmt.Errorf("memory: transfer of page %d not stored at origin (mpt=%v)", p, tp.MPT.Loc(p))
+	}
+	tp.MPT.Set(p, LocMigrant)
+	tp.HPT.Set(p, LocUnmapped)
+	return nil
+}
+
+// CreateAtMigrant records a page newly created by the migrant (e.g. heap
+// growth after migration): "when a page is created by a migrant, only the
+// MPT needs to be updated".
+func (tp *TablePair) CreateAtMigrant(p PageNum) error {
+	if tp.MPT.Loc(p) != LocUnmapped {
+		return fmt.Errorf("memory: create of already-mapped page %d (mpt=%v)", p, tp.MPT.Loc(p))
+	}
+	tp.MPT.Set(p, LocMigrant)
+	return nil
+}
+
+// Unmap removes page p from the address space, updating the HPT only when
+// the origin stored the data.
+func (tp *TablePair) Unmap(p PageNum) error {
+	switch tp.MPT.Loc(p) {
+	case LocUnmapped:
+		return fmt.Errorf("memory: unmap of unmapped page %d", p)
+	case LocOrigin:
+		tp.HPT.Set(p, LocUnmapped)
+		tp.MPT.Set(p, LocUnmapped)
+	case LocMigrant:
+		tp.MPT.Set(p, LocUnmapped)
+	}
+	return nil
+}
+
+// CheckConsistent verifies the cross-table invariant: the origin stores
+// exactly the mapped pages whose MPT entry says "origin". It returns the
+// first violation found.
+func (tp *TablePair) CheckConsistent() error {
+	if tp.MPT.Pages() != tp.HPT.Pages() {
+		return fmt.Errorf("memory: table size mismatch mpt=%d hpt=%d", tp.MPT.Pages(), tp.HPT.Pages())
+	}
+	for p := PageNum(0); p < PageNum(tp.MPT.Pages()); p++ {
+		atOrigin := tp.MPT.Loc(p) == LocOrigin
+		hptHas := tp.HPT.Loc(p) != LocUnmapped
+		if atOrigin != hptHas {
+			return fmt.Errorf("memory: page %d inconsistent: mpt=%v hpt=%v", p, tp.MPT.Loc(p), tp.HPT.Loc(p))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("t", 100, LocOrigin)
+	if tb.Pages() != 100 || tb.Mapped() != 100 {
+		t.Fatalf("pages=%d mapped=%d", tb.Pages(), tb.Mapped())
+	}
+	if tb.Bytes() != 100*PTEntrySize {
+		t.Fatalf("bytes = %d, want %d (6 B per entry, paper §5.2)", tb.Bytes(), 100*PTEntrySize)
+	}
+	tb.Set(5, LocMigrant)
+	if tb.Loc(5) != LocMigrant {
+		t.Fatal("entry not set")
+	}
+	tb.Set(6, LocUnmapped)
+	if tb.Mapped() != 99 {
+		t.Fatalf("mapped = %d, want 99", tb.Mapped())
+	}
+	tb.Set(6, LocOrigin)
+	if tb.Mapped() != 100 {
+		t.Fatalf("mapped = %d, want 100", tb.Mapped())
+	}
+}
+
+func TestTableUnmappedInitial(t *testing.T) {
+	tb := NewTable("t", 10, LocUnmapped)
+	if tb.Mapped() != 0 {
+		t.Fatalf("mapped = %d", tb.Mapped())
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	tb := NewTable("orig", 10, LocOrigin)
+	tb.Set(3, LocMigrant)
+	c := tb.Clone("copy")
+	if c.Name() != "copy" || c.Loc(3) != LocMigrant || c.Mapped() != tb.Mapped() {
+		t.Fatal("clone mismatch")
+	}
+	c.Set(4, LocUnmapped)
+	if tb.Loc(4) != LocOrigin {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestTableBoundsPanic(t *testing.T) {
+	tb := NewTable("t", 10, LocOrigin)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range entry did not panic")
+		}
+	}()
+	tb.Loc(10)
+}
+
+func TestLocString(t *testing.T) {
+	if LocUnmapped.String() != "unmapped" || LocOrigin.String() != "origin" || LocMigrant.String() != "migrant" {
+		t.Fatal("loc names wrong")
+	}
+}
+
+func TestTablePairInitialConsistency(t *testing.T) {
+	tp := NewTablePair(50)
+	if err := tp.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferToMigrant(t *testing.T) {
+	tp := NewTablePair(50)
+	if err := tp.TransferToMigrant(7); err != nil {
+		t.Fatal(err)
+	}
+	if tp.MPT.Loc(7) != LocMigrant {
+		t.Fatal("MPT not updated")
+	}
+	if tp.HPT.Loc(7) != LocUnmapped {
+		t.Fatal("origin copy not deleted (paper §2.2)")
+	}
+	if err := tp.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	// Double transfer is a protocol violation.
+	if err := tp.TransferToMigrant(7); err == nil {
+		t.Fatal("double transfer accepted")
+	}
+}
+
+func TestCreateAtMigrant(t *testing.T) {
+	tp := NewTablePair(50)
+	tp.MPT.Set(9, LocUnmapped)
+	tp.HPT.Set(9, LocUnmapped)
+	if err := tp.CreateAtMigrant(9); err != nil {
+		t.Fatal(err)
+	}
+	if tp.MPT.Loc(9) != LocMigrant {
+		t.Fatal("MPT not updated on create")
+	}
+	// "only the MPT needs to be updated" — HPT untouched.
+	if tp.HPT.Loc(9) != LocUnmapped {
+		t.Fatal("HPT touched on create")
+	}
+	if err := tp.CreateAtMigrant(9); err == nil {
+		t.Fatal("create over mapped page accepted")
+	}
+	if err := tp.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmapAtOrigin(t *testing.T) {
+	tp := NewTablePair(50)
+	if err := tp.Unmap(3); err != nil {
+		t.Fatal(err)
+	}
+	// Page stored at origin: both tables update.
+	if tp.MPT.Loc(3) != LocUnmapped || tp.HPT.Loc(3) != LocUnmapped {
+		t.Fatal("unmap of origin-stored page must update both tables")
+	}
+	if err := tp.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmapAtMigrant(t *testing.T) {
+	tp := NewTablePair(50)
+	if err := tp.TransferToMigrant(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Unmap(4); err != nil {
+		t.Fatal(err)
+	}
+	if tp.MPT.Loc(4) != LocUnmapped {
+		t.Fatal("MPT not unmapped")
+	}
+	if err := tp.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Unmap(4); err == nil {
+		t.Fatal("double unmap accepted")
+	}
+}
+
+// TestTablePairProtocolProperty: any legal sequence of transfer / create /
+// unmap operations preserves the MPT/HPT consistency invariant.
+func TestTablePairProtocolProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const pages = 32
+		tp := NewTablePair(pages)
+		for _, op := range ops {
+			p := PageNum(op % pages)
+			switch (op / pages) % 3 {
+			case 0:
+				if tp.MPT.Loc(p) == LocOrigin {
+					if tp.TransferToMigrant(p) != nil {
+						return false
+					}
+				}
+			case 1:
+				if tp.MPT.Loc(p) == LocUnmapped {
+					if tp.CreateAtMigrant(p) != nil {
+						return false
+					}
+				}
+			case 2:
+				if tp.MPT.Loc(p) != LocUnmapped {
+					if tp.Unmap(p) != nil {
+						return false
+					}
+				}
+			}
+			if tp.CheckConsistent() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckConsistentDetectsViolation(t *testing.T) {
+	tp := NewTablePair(10)
+	tp.HPT.Set(2, LocUnmapped) // break invariant behind the protocol's back
+	if err := tp.CheckConsistent(); err == nil {
+		t.Fatal("violation not detected")
+	}
+	tp2 := &TablePair{MPT: NewTable("m", 5, LocOrigin), HPT: NewTable("h", 6, LocOrigin)}
+	if err := tp2.CheckConsistent(); err == nil {
+		t.Fatal("size mismatch not detected")
+	}
+}

@@ -1,0 +1,581 @@
+// Package migrate orchestrates whole migration experiments: it builds a
+// two-node cluster (origin and destination joined by a modelled link),
+// runs a workload's pre-migration phase, freezes and transfers the process
+// under one of the paper's three schemes, then executes the post-migration
+// reference stream with remote paging and (for AMPoM) adaptive
+// prefetching, collecting every statistic the evaluation figures report.
+//
+// The three schemes (paper Figure 2):
+//
+//   - OpenMosix: all dirty pages transferred during the freeze; no remote
+//     page faults afterwards.
+//   - NoPrefetch: the FFA variant of §5.1 — only the three currently
+//     accessed pages (code, data, stack) move at freeze time; every other
+//     page is demand-fetched from the origin, one fault at a time.
+//   - AMPoM: the three pages plus the master page table move at freeze
+//     time; afterwards Algorithm 1 runs at every fault and prefetches the
+//     dependent zone.
+package migrate
+
+import (
+	"fmt"
+
+	"ampom/internal/cluster"
+	"ampom/internal/core"
+	"ampom/internal/hpcc"
+	"ampom/internal/infod"
+	"ampom/internal/memory"
+	"ampom/internal/netmodel"
+	"ampom/internal/paging"
+	"ampom/internal/sim"
+	"ampom/internal/simtime"
+	"ampom/internal/trace"
+)
+
+// Scheme selects the migration mechanism.
+type Scheme uint8
+
+// The schemes compared in the paper's evaluation, plus the two baselines
+// its Figure 2 and related work describe.
+const (
+	// OpenMosix transfers every dirty page during the freeze (paper
+	// Figure 2, top).
+	OpenMosix Scheme = iota
+	// NoPrefetch is the paper's FFA variant: three pages at freeze time,
+	// then demand paging directly from the origin (§5.1).
+	NoPrefetch
+	// AMPoM is the paper's contribution: three pages plus the MPT at
+	// freeze time, then adaptive prefetching (Figure 2, bottom).
+	AMPoM
+	// FFAFileServer is Roush & Campbell's original Freeze Free Algorithm
+	// (Figure 2, middle): three pages at freeze time, the origin flushes
+	// all dirty pages to a file server, and the migrant's faults are
+	// served by the file server — gated until the flush lands.
+	FFAFileServer
+	// Precopy is the V-system baseline (related work §6): the address
+	// space is pre-copied while the process keeps executing at the origin;
+	// the freeze then retransmits only the pages dirtied during the
+	// precopy. No remote faults afterwards.
+	Precopy
+)
+
+// Schemes lists the paper's three evaluated schemes in its presentation
+// order.
+func Schemes() []Scheme { return []Scheme{AMPoM, OpenMosix, NoPrefetch} }
+
+// AllSchemes additionally includes the FFA-with-file-server and precopy
+// baselines used by the scheme ablation.
+func AllSchemes() []Scheme {
+	return []Scheme{AMPoM, OpenMosix, NoPrefetch, FFAFileServer, Precopy}
+}
+
+// String names the scheme as in the figures.
+func (s Scheme) String() string {
+	switch s {
+	case OpenMosix:
+		return "openMosix"
+	case NoPrefetch:
+		return "NoPrefetch"
+	case AMPoM:
+		return "AMPoM"
+	case FFAFileServer:
+		return "FFA-fileserver"
+	case Precopy:
+		return "Precopy"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// Calibration gathers the cost constants of the modelled kernels and
+// protocol, calibrated against the paper's §5.2 anchors (575 MB DGEMM:
+// 53.9 s openMosix, 0.6 s AMPoM, 0.07 s NoPrefetch freeze).
+type Calibration struct {
+	// MigrationBase is the fixed openMosix migration protocol cost
+	// (negotiation, PCB capture/restore, socket setup).
+	MigrationBase simtime.Duration
+	// PageMsgOverhead is the per-page wire overhead during freeze-time bulk
+	// transfer.
+	PageMsgOverhead int64
+	// MPTEntryCPU is the destination-side cost of installing one MPT entry
+	// (AMPoM's freeze is dominated by this for large processes).
+	MPTEntryCPU simtime.Duration
+
+	Deputy paging.DeputyConfig
+	Pager  paging.PagerConfig
+	Cost   core.CostModel
+	Infod  infod.Config
+}
+
+// DefaultCalibration returns the Gideon 300 calibration.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		MigrationBase:   65 * simtime.Millisecond,
+		PageMsgOverhead: 64,
+		MPTEntryCPU:     3 * simtime.Microsecond,
+		Deputy:          paging.DefaultDeputyConfig(),
+		Pager:           paging.DefaultPagerConfig(),
+		Cost:            core.DefaultCostModel(),
+		Infod:           infod.Config{},
+	}
+}
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	// Workload is the kernel run to execute.
+	Workload *hpcc.Workload
+	// Scheme is the migration mechanism.
+	Scheme Scheme
+	// Network is the link profile (FastEthernet by default).
+	Network netmodel.Profile
+	// AMPoM configures the prefetcher (AMPoM scheme only); zero value means
+	// paper defaults.
+	AMPoM core.Config
+	// Calibration overrides cost constants; zero value means defaults.
+	Calibration *Calibration
+	// Seed drives all stochastic components.
+	Seed uint64
+	// BackgroundLoad is the fraction of link bandwidth consumed by
+	// competing traffic.
+	BackgroundLoad float64
+	// SkipInit drops the pre-migration initialise phase from the timeline
+	// (the migration then happens at t=0 with all pages already dirty).
+	SkipInit bool
+}
+
+// Result carries everything the evaluation figures need from one run.
+type Result struct {
+	Workload string
+	Kernel   hpcc.Kernel
+	MemoryMB int64
+	Scheme   Scheme
+	Network  string
+
+	// Phase timings.
+	Init    simtime.Duration // pre-migration allocate+initialise phase
+	Precopy simtime.Duration // pre-copy rounds while executing (Precopy only)
+	Freeze  simtime.Duration // migration freeze time (Figure 5)
+	Exec    simtime.Duration // resume → workload completion
+	Total   simtime.Duration // Init + Precopy + Freeze + Exec (Figure 6)
+
+	// Fault census.
+	Faults     int64 // all faults (hard + wait + soft)
+	HardFaults int64 // demand requests to the origin (Figure 7)
+	WaitFaults int64 // stalled on an in-flight prefetch, no request
+	SoftFaults int64 // satisfied by an arrived-but-uninstalled page
+
+	// Request/transfer census.
+	RequestsSent  int64
+	PrefetchOnly  int64
+	DemandPages   int64
+	PrefetchPages int64
+	PagesArrived  int64
+	BytesToDest   int64 // bytes received by the migrant (freeze + paging)
+
+	// Derived figure metrics.
+	PrefetchPerRequest float64 // Figure 8
+	OverheadPct        float64 // Figure 11: analysis time / exec time ×100
+
+	// Diagnostics.
+	StallTime    simtime.Duration
+	AnalysisTime simtime.Duration
+	MeanScore    float64
+	MeanN        float64
+	FinalRTTEst  simtime.Duration
+	Events       uint64
+}
+
+// FaultPrevention returns the fraction of first-touch fetches that did not
+// need a demand request, relative to a NoPrefetch baseline that faults once
+// per fetched page (the §5.4 "prevented page fault requests" metric).
+func (r *Result) FaultPrevention(baselineFaults int64) float64 {
+	if baselineFaults <= 0 {
+		return 0
+	}
+	p := 1 - float64(r.HardFaults)/float64(baselineFaults)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// freezeDone is the control payload completing a freeze-time bulk transfer.
+type freezeDone struct{ fn func() }
+
+// Run executes one experiment and returns its result.
+func Run(cfg RunConfig) (*Result, error) {
+	w := cfg.Workload
+	if w == nil {
+		return nil, fmt.Errorf("migrate: nil workload")
+	}
+	cal := DefaultCalibration()
+	if cfg.Calibration != nil {
+		cal = *cfg.Calibration
+	}
+	net := cfg.Network
+	if net.BandwidthBps == 0 {
+		net = netmodel.FastEthernet()
+	}
+
+	eng := sim.New()
+	origin := cluster.NewNode(eng, "origin", 1.0)
+	dest := cluster.NewNode(eng, "dest", 1.0)
+	link := netmodel.NewLink(eng, net, origin.NIC, dest.NIC)
+	link.SetBackgroundLoad(cfg.BackgroundLoad)
+
+	// Control handler for freeze-completion payloads, on both nodes.
+	ctl := func(p any) bool {
+		if f, ok := p.(freezeDone); ok {
+			f.fn()
+			return true
+		}
+		return false
+	}
+	origin.Handle(ctl)
+	dest.Handle(ctl)
+
+	pcb := cluster.NewPCB(1, w.Name, origin)
+	as := memory.NewAddressSpace(w.Layout)
+
+	res := &Result{
+		Workload: w.Name,
+		Kernel:   w.Entry.Kernel,
+		MemoryMB: w.Entry.MemoryMB,
+		Scheme:   cfg.Scheme,
+		Network:  net.Name,
+	}
+
+	// --- Pre-migration phase ----------------------------------------------
+	// The kernel allocates and initialises its memory at the origin; the
+	// paper triggers migration right after. Initialisation dirties the
+	// whole address space.
+	initTime := w.InitCompute
+	if cfg.SkipInit {
+		initTime = 0
+	}
+	res.Init = initTime
+	as.MarkAllDirty()
+
+	var (
+		exec       *executor
+		destDaemon *infod.Daemon
+		origDaemon *infod.Daemon
+		pager      *paging.Pager
+		deputy     *paging.Deputy
+		resumeAt   simtime.Time
+		execEndAt  simtime.Time
+	)
+
+	finish := func(end simtime.Time) {
+		execEndAt = end
+		pcb.State = cluster.ProcDone
+		if destDaemon != nil {
+			destDaemon.Stop()
+		}
+		if origDaemon != nil {
+			origDaemon.Stop()
+		}
+	}
+
+	// resume starts the migrant executing at the destination node.
+	resume := func() {
+		resumeAt = eng.Now()
+		res.Freeze = resumeAt.Sub(simtime.Time(initTime + res.Precopy))
+		pcb.State = cluster.ProcRunning
+		pcb.Current = dest
+		exec.start(finish)
+	}
+
+	// --- Pre-copy phase (Precopy scheme only) -----------------------------
+	// The V-system baseline copies the address space while the process
+	// keeps executing at the origin; pages dirtied during a round are
+	// retransmitted in the next, and the final residue moves during the
+	// freeze. The rounds consume the front of the reference stream — those
+	// references execute at the origin and are not replayed at the
+	// destination.
+	var precopyStream *windowedStream
+	var precopyResidueBytes int64
+	if cfg.Scheme == Precopy {
+		precopyStream = &windowedStream{src: w.Source(), node: origin}
+		allBytes := w.Layout.Pages()*(memory.PageSize+cal.PageMsgOverhead) + cluster.RegisterBytes
+		round := net.TransferTime(allBytes)
+		res.BytesToDest += allBytes
+		residue := int64(0)
+		for i := 0; i < 3; i++ {
+			res.Precopy += round
+			dirtied, ended := precopyStream.consume(round)
+			residue = dirtied
+			if ended || dirtied == 0 {
+				break
+			}
+			bytes := dirtied * (memory.PageSize + cal.PageMsgOverhead)
+			next := net.TransferTime(bytes)
+			if i == 2 || next >= round {
+				break // not converging; stop-and-copy the rest
+			}
+			res.BytesToDest += bytes
+			round = next
+		}
+		precopyResidueBytes = residue*(memory.PageSize+cal.PageMsgOverhead) + cluster.RegisterBytes
+		res.BytesToDest += precopyResidueBytes
+	}
+
+	// --- Freeze and transfer, per scheme ----------------------------------
+	migrationStart := simtime.Time(initTime + res.Precopy)
+	var fsFlushDone func(simtime.Time) // set by the FFA wiring below
+	eng.At(migrationStart, func() {
+		pcb.State = cluster.ProcFrozen
+		switch cfg.Scheme {
+		case OpenMosix:
+			// Ship every dirty page in one bulk stream; no deputy needed
+			// for paging afterwards (openMosix still leaves a deputy for
+			// syscalls, but it serves no pages).
+			bytes := as.DirtyPages()*(memory.PageSize+cal.PageMsgOverhead) + cluster.RegisterBytes
+			res.BytesToDest += bytes
+			eng.Schedule(cal.MigrationBase, func() {
+				link.Send(origin.NIC, netmodel.Message{Size: bytes, Payload: freezeDone{resume}})
+			})
+
+		case Precopy:
+			// Only the residue dirtied during the last pre-copy round moves
+			// during the freeze.
+			eng.Schedule(cal.MigrationBase, func() {
+				link.Send(origin.NIC, netmodel.Message{Size: precopyResidueBytes, Payload: freezeDone{resume}})
+			})
+
+		case NoPrefetch, AMPoM, FFAFileServer:
+			bytes := 3*(memory.PageSize+cal.PageMsgOverhead) + cluster.RegisterBytes
+			var mptInstall simtime.Duration
+			if cfg.Scheme == AMPoM {
+				bytes += w.Layout.Pages() * memory.PTEntrySize
+				mptInstall = dest.Scale(cal.MPTEntryCPU * simtime.Duration(w.Layout.Pages()))
+			}
+			res.BytesToDest += bytes
+			eng.Schedule(cal.MigrationBase, func() {
+				link.Send(origin.NIC, netmodel.Message{Size: bytes, Payload: freezeDone{func() {
+					eng.Schedule(mptInstall, resume)
+				}}})
+			})
+		}
+	})
+
+	// --- Post-migration machinery ------------------------------------------
+	switch cfg.Scheme {
+	case OpenMosix:
+		// All pages arrive during the freeze; the address space stays fully
+		// resident and the executor never faults.
+		exec = newExecutor(execConfig{
+			node: dest, src: w.Source(), as: as, cal: cal,
+		})
+
+	case Precopy:
+		// The precopy rounds already executed the stream's prefix at the
+		// origin; the destination continues from there, fully resident.
+		exec = newExecutor(execConfig{
+			node: dest, src: precopyStream.rest(), as: as, cal: cal,
+		})
+
+	case FFAFileServer:
+		// Three pages travel with the freeze; the origin flushes all dirty
+		// pages to a file server, which serves the migrant's faults — but
+		// only once the flush has landed (paper Figure 2, middle).
+		fs := cluster.NewNode(eng, "fileserver", 1.0)
+		fs.Handle(ctl)
+		linkOF := netmodel.NewLink(eng, net, origin.NIC, fs.NIC)
+		linkMF := netmodel.NewLink(eng, net, dest.NIC, fs.NIC)
+		linkMF.SetBackgroundLoad(cfg.BackgroundLoad)
+
+		tables := memory.NewTablePair(w.Layout.Pages())
+		as.EvictAllToRemote()
+		for _, p := range []memory.PageNum{
+			w.Layout.Region(memory.RegionCode).Start,
+			w.Layout.Region(memory.RegionHeap).Start,
+			w.Layout.Region(memory.RegionStack).Start,
+		} {
+			as.SetState(p, memory.StateResident)
+			if err := tables.TransferToMigrant(p); err != nil {
+				return nil, fmt.Errorf("migrate: installing freeze page: %w", err)
+			}
+		}
+		deputy = paging.NewDeputy(cal.Deputy, fs, linkMF, tables)
+		deputy.SetAvailableAfter(simtime.Never)
+		fsFlushDone = func(at simtime.Time) { deputy.SetAvailableAfter(at) }
+		pager = paging.NewPager(cal.Pager, dest, linkMF, as)
+		exec = newExecutor(execConfig{node: dest, src: w.Source(), as: as, cal: cal, pager: pager})
+
+		// The flush leaves the origin in parallel with the freeze.
+		flushBytes := as.CountInState(memory.StateRemote) * (memory.PageSize + cal.PageMsgOverhead)
+		eng.At(migrationStart, func() {
+			eng.Schedule(cal.MigrationBase, func() {
+				linkOF.Send(origin.NIC, netmodel.Message{Size: flushBytes, Payload: freezeDone{func() {
+					fsFlushDone(eng.Now())
+				}}})
+			})
+		})
+
+	case NoPrefetch, AMPoM:
+		tables := memory.NewTablePair(w.Layout.Pages())
+		as.EvictAllToRemote()
+		// The three "currently accessed" pages travel with the freeze.
+		for _, p := range []memory.PageNum{
+			w.Layout.Region(memory.RegionCode).Start,
+			w.Layout.Region(memory.RegionHeap).Start,
+			w.Layout.Region(memory.RegionStack).Start,
+		} {
+			as.SetState(p, memory.StateResident)
+			if err := tables.TransferToMigrant(p); err != nil {
+				return nil, fmt.Errorf("migrate: installing freeze page: %w", err)
+			}
+		}
+		deputy = paging.NewDeputy(cal.Deputy, origin, link, tables)
+		pager = paging.NewPager(cal.Pager, dest, link, as)
+		pcbDeputy := cluster.NewPCB(1, w.Name+"-deputy", origin)
+		pcbDeputy.State = cluster.ProcDeputy
+
+		ec := execConfig{node: dest, src: w.Source(), as: as, cal: cal, pager: pager}
+		if cfg.Scheme == AMPoM {
+			pre, err := core.New(cfg.AMPoM, w.Layout.Pages())
+			if err != nil {
+				return nil, err
+			}
+			destDaemon = infod.New(cal.Infod, dest, link, cfg.Seed^0xd41d)
+			origDaemon = infod.New(cal.Infod, origin, link, cfg.Seed^0x8c1f)
+			destDaemon.Start()
+			origDaemon.Start()
+			ec.pre = pre
+			ec.est = destDaemon.Estimates
+		}
+		exec = newExecutor(ec)
+		if destDaemon != nil {
+			destDaemon.SetCPUUtil(exec.Utilization)
+		}
+	}
+
+	// --- Run to completion --------------------------------------------------
+	eng.MaxEvents = 500_000_000
+	eng.RunAll()
+	if pcb.State != cluster.ProcDone {
+		return nil, fmt.Errorf("migrate: %s/%s did not finish (t=%v, pending=%d)",
+			w.Name, cfg.Scheme, eng.Now(), eng.Pending())
+	}
+
+	// --- Collect ------------------------------------------------------------
+	res.Exec = execEndAt.Sub(resumeAt)
+	res.Total = simtime.Duration(execEndAt)
+	res.Faults = exec.faults
+	res.HardFaults = exec.hardFaults
+	res.WaitFaults = exec.waitFaults
+	res.SoftFaults = exec.softFaults
+	res.AnalysisTime = exec.analysisTime
+	if exec.analyses > 0 {
+		res.MeanScore = exec.scoreSum / float64(exec.analyses)
+		res.MeanN = exec.nSum / float64(exec.analyses)
+	}
+	if res.Exec > 0 {
+		res.OverheadPct = 100 * float64(res.AnalysisTime) / float64(res.Exec)
+	}
+	if pager != nil {
+		st := pager.Stats
+		res.RequestsSent = st.RequestsSent
+		res.PrefetchOnly = st.PrefetchOnly
+		res.DemandPages = st.DemandRequested
+		res.PrefetchPages = st.PrefetchRequested
+		res.PagesArrived = st.PagesArrived
+		res.BytesToDest += st.BytesReceived
+		res.StallTime = st.StallTime
+		if res.HardFaults > 0 {
+			res.PrefetchPerRequest = float64(st.PrefetchRequested) / float64(res.HardFaults)
+		}
+	}
+	if destDaemon != nil {
+		res.FinalRTTEst = destDaemon.RTT()
+	}
+	if deputy != nil && pager != nil {
+		// Every page the deputy sent must have arrived at the migrant.
+		if deputy.Stats.DemandServed+deputy.Stats.PrefetchServed != pager.Stats.PagesArrived {
+			return nil, fmt.Errorf("migrate: page conservation violated: deputy sent %d+%d, migrant got %d",
+				deputy.Stats.DemandServed, deputy.Stats.PrefetchServed, pager.Stats.PagesArrived)
+		}
+	}
+	res.Events = eng.Processed
+	return res, nil
+}
+
+// MustRun is Run panicking on error, for examples and benchmarks.
+func MustRun(cfg RunConfig) *Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// windowedStream executes a reference stream in wall-clock windows (the
+// pre-copy rounds): consume() runs exactly `budget` of compute, splitting a
+// reference that spans the window boundary, and rest() yields whatever has
+// not executed yet for the destination executor to continue with.
+type windowedStream struct {
+	src     trace.Source
+	node    *cluster.Node
+	pending trace.Ref // partially computed reference, Compute = remainder
+	hasPend bool
+	done    bool
+}
+
+// consume runs budget worth of compute and returns the distinct pages
+// written in the window (the dirty set the next pre-copy round must
+// retransmit) and whether the stream ended inside the window.
+func (ws *windowedStream) consume(budget simtime.Duration) (dirtied int64, ended bool) {
+	written := make(map[memory.PageNum]bool)
+	var used simtime.Duration
+	for used < budget {
+		var ref trace.Ref
+		if ws.hasPend {
+			ref = ws.pending
+			ws.hasPend = false
+		} else {
+			var ok bool
+			ref, ok = ws.src.Next()
+			if !ok {
+				ws.done = true
+				return int64(len(written)), true
+			}
+			ref.Compute = ws.node.Scale(ref.Compute)
+		}
+		if used+ref.Compute > budget {
+			// The reference spans the window boundary: bank the remainder
+			// (its page touch happens when the compute completes, in a
+			// later window).
+			ref.Compute -= budget - used
+			ws.pending = ref
+			ws.hasPend = true
+			return int64(len(written)), false
+		}
+		used += ref.Compute
+		if ref.Write {
+			written[ref.Page] = true
+		}
+	}
+	return int64(len(written)), false
+}
+
+// rest returns the unexecuted tail of the stream. References are already
+// scaled to the origin node's CPU; the destination executor re-scales, so
+// hand back reference-CPU durations by inverting the scale.
+func (ws *windowedStream) rest() trace.Source {
+	first := true
+	return trace.FuncSource(func() (trace.Ref, bool) {
+		if first {
+			first = false
+			if ws.hasPend {
+				ref := ws.pending
+				ref.Compute = simtime.Duration(float64(ref.Compute) * ws.node.CPUScale)
+				return ref, true
+			}
+		}
+		if ws.done {
+			return trace.Ref{}, false
+		}
+		return ws.src.Next()
+	})
+}

@@ -1,0 +1,125 @@
+package migrate
+
+import (
+	"testing"
+
+	"ampom/internal/hpcc"
+)
+
+func TestAllSchemesComplete(t *testing.T) {
+	w := smallWorkload(t, hpcc.DGEMM, 16)
+	results := map[Scheme]*Result{}
+	for _, s := range AllSchemes() {
+		r, err := Run(RunConfig{Workload: w, Scheme: s, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if r.Total <= 0 {
+			t.Fatalf("%v: degenerate total", s)
+		}
+		results[s] = r
+	}
+	if len(AllSchemes()) != 5 {
+		t.Fatal("scheme list incomplete")
+	}
+	// Figure 2's story: FFA's file-server detour costs more than fetching
+	// directly from the origin (the reason the paper's variant exists).
+	if results[FFAFileServer].Total <= results[NoPrefetch].Total {
+		t.Fatalf("FFA %v not slower than NoPrefetch %v", results[FFAFileServer].Total, results[NoPrefetch].Total)
+	}
+	// Both demand-page every first touch.
+	if results[FFAFileServer].HardFaults != results[NoPrefetch].HardFaults {
+		t.Fatalf("FFA faults %d != NoPrefetch faults %d",
+			results[FFAFileServer].HardFaults, results[NoPrefetch].HardFaults)
+	}
+	// Precopy never faults remotely and moves at least the address space.
+	if results[Precopy].Faults != 0 {
+		t.Fatalf("precopy faulted %d times", results[Precopy].Faults)
+	}
+	if results[Precopy].BytesToDest < results[OpenMosix].BytesToDest {
+		t.Fatal("precopy moved fewer bytes than stop-and-copy — dirty retransmission lost")
+	}
+}
+
+func TestSchemeStringsComplete(t *testing.T) {
+	if FFAFileServer.String() != "FFA-fileserver" || Precopy.String() != "Precopy" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(99).String() == "" {
+		t.Fatal("unknown scheme must still format")
+	}
+}
+
+func TestFFAGatedByFlush(t *testing.T) {
+	w := smallWorkload(t, hpcc.STREAM, 32)
+	np := runScheme(t, w, NoPrefetch)
+	ffa := runScheme(t, w, FFAFileServer)
+	// The migrant's first faults wait for the whole flush: FFA's stall time
+	// clearly exceeds direct-from-origin demand paging's.
+	if ffa.StallTime <= np.StallTime {
+		t.Fatalf("FFA stall %v not above NoPrefetch %v (flush gate lost)", ffa.StallTime, np.StallTime)
+	}
+	// Freeze is identical: both ship just the three pages.
+	diff := ffa.Freeze - np.Freeze
+	if diff < -ffa.Freeze/10 || diff > ffa.Freeze/10 {
+		t.Fatalf("FFA freeze %v != NoPrefetch freeze %v", ffa.Freeze, np.Freeze)
+	}
+}
+
+func TestPrecopyTradeoffs(t *testing.T) {
+	// RandomAccess has compute ≫ transfer, the favourable precopy case:
+	// rounds converge and execution continues at the destination.
+	w := smallWorkload(t, hpcc.RandomAccess, 16)
+	om := runScheme(t, w, OpenMosix)
+	pc := runScheme(t, w, Precopy)
+	if pc.Freeze >= om.Freeze {
+		t.Fatalf("precopy freeze %v not below stop-and-copy %v", pc.Freeze, om.Freeze)
+	}
+	if pc.Precopy <= 0 {
+		t.Fatal("precopy rounds not recorded")
+	}
+	if pc.Exec <= 0 {
+		t.Fatal("compute-rich workload should keep executing at the destination")
+	}
+	// The V-system's documented weakness: retransmission makes it move
+	// more bytes than plain stop-and-copy.
+	if pc.BytesToDest <= om.BytesToDest {
+		t.Fatalf("precopy bytes %d not above openMosix %d", pc.BytesToDest, om.BytesToDest)
+	}
+	if pc.Total != pc.Init+pc.Precopy+pc.Freeze+pc.Exec {
+		t.Fatalf("phase sum wrong: %+v", pc)
+	}
+}
+
+func TestPrecopyDegenerateWhenComputePoor(t *testing.T) {
+	// STREAM's compute is below one transfer time: the process finishes at
+	// the origin during the first round and nothing executes remotely.
+	w := smallWorkload(t, hpcc.STREAM, 32)
+	pc := runScheme(t, w, Precopy)
+	if pc.Exec != 0 {
+		t.Fatalf("exec = %v, want 0 (stream exhausted during precopy)", pc.Exec)
+	}
+	if pc.Faults != 0 {
+		t.Fatal("degenerate precopy faulted")
+	}
+}
+
+func TestAMPoMBeatsAllBaselines(t *testing.T) {
+	// The headline comparison including the two extra baselines: AMPoM has
+	// the best freeze-vs-total trade-off — only openMosix/Precopy match its
+	// total, and they pay 1-2 orders of magnitude more freeze.
+	w := smallWorkload(t, hpcc.DGEMM, 16)
+	am := runScheme(t, w, AMPoM)
+	for _, s := range []Scheme{OpenMosix, Precopy} {
+		r := runScheme(t, w, s)
+		if r.Freeze < 5*am.Freeze {
+			t.Errorf("%v freeze %v not ≫ AMPoM freeze %v", s, r.Freeze, am.Freeze)
+		}
+	}
+	for _, s := range []Scheme{NoPrefetch, FFAFileServer} {
+		r := runScheme(t, w, s)
+		if r.Total < am.Total {
+			t.Errorf("%v total %v below AMPoM %v", s, r.Total, am.Total)
+		}
+	}
+}

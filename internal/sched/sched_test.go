@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+
+	"ampom/internal/simtime"
+)
+
+func TestPolicyString(t *testing.T) {
+	if NoMigration.String() != "no-migration" || OpenMosixCost.String() != "openMosix" || AMPoMCost.String() != "AMPoM" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Nodes != 8 || c.Jobs != 64 || c.CostThreshold != 1.25 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestSimulationCompletes(t *testing.T) {
+	for _, p := range []Policy{NoMigration, OpenMosixCost, AMPoMCost} {
+		st := Simulate(Config{Jobs: 16, Nodes: 4}, p)
+		if st.Makespan <= 0 {
+			t.Fatalf("%v: makespan %v", p, st.Makespan)
+		}
+		if st.MeanSlowdown < 1 {
+			t.Fatalf("%v: slowdown %v < 1", p, st.MeanSlowdown)
+		}
+	}
+}
+
+// TestAMPoMEnablesAggressiveMigration is the §7 claim: with AMPoM's cheap
+// migrations the same lifetime rule fires more often and the cluster
+// balances better.
+func TestAMPoMEnablesAggressiveMigration(t *testing.T) {
+	res := Compare(Config{})
+	none, om, am := res[0], res[1], res[2]
+
+	if am.Migrations <= om.Migrations {
+		t.Fatalf("AMPoM migrations %d not above openMosix's %d (aggressiveness lost)",
+			am.Migrations, om.Migrations)
+	}
+	if am.MeanSlowdown >= none.MeanSlowdown {
+		t.Fatalf("AMPoM slowdown %.2f not below no-migration %.2f", am.MeanSlowdown, none.MeanSlowdown)
+	}
+	if am.MeanSlowdown >= om.MeanSlowdown {
+		t.Fatalf("AMPoM slowdown %.2f not below openMosix %.2f", am.MeanSlowdown, om.MeanSlowdown)
+	}
+	if am.Makespan >= none.Makespan {
+		t.Fatalf("AMPoM makespan %v not below no-migration %v", am.Makespan, none.Makespan)
+	}
+}
+
+func TestFreezeTimeCharged(t *testing.T) {
+	om := Simulate(Config{}, OpenMosixCost)
+	am := Simulate(Config{}, AMPoMCost)
+	if om.Migrations > 0 && om.FrozenTotal <= 0 {
+		t.Fatal("openMosix migrations charged no freeze time")
+	}
+	// AMPoM's freeze proper (excluding the working-set paging stalls, which
+	// FrozenTotal also accumulates) is per-migration far cheaper.
+	if om.Migrations > 0 && am.Migrations > 0 {
+		perOM := float64(om.FrozenTotal) / float64(om.Migrations)
+		perAM := float64(am.FrozenTotal-am.ExtraWork) / float64(am.Migrations)
+		if perAM >= perOM/5 {
+			t.Fatalf("AMPoM per-migration freeze %.3fs not ≪ openMosix %.3fs",
+				perAM/float64(simtime.Second), perOM/float64(simtime.Second))
+		}
+	}
+	if am.ExtraWork <= 0 {
+		t.Fatal("AMPoM migrations must charge remote-paging work")
+	}
+}
+
+func TestNoMigrationPolicyIsInert(t *testing.T) {
+	st := Simulate(Config{}, NoMigration)
+	if st.Migrations != 0 || st.FrozenTotal != 0 || st.ExtraWork != 0 {
+		t.Fatalf("no-migration policy acted: %+v", st)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Simulate(Config{Seed: 5}, AMPoMCost)
+	b := Simulate(Config{Seed: 5}, AMPoMCost)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := Simulate(Config{Seed: 6}, AMPoMCost)
+	if a.Makespan == c.Makespan && a.Migrations == c.Migrations {
+		t.Fatal("different seeds produced identical studies")
+	}
+}
+
+func TestBalancedClusterMigratesLittle(t *testing.T) {
+	// With no skew the cluster starts balanced; few migrations should fire.
+	skewed := Simulate(Config{}, AMPoMCost)
+	flat := Simulate(Config{Skew: 1e-9}, AMPoMCost)
+	if flat.Migrations >= skewed.Migrations {
+		t.Fatalf("balanced start migrated %d, skewed %d", flat.Migrations, skewed.Migrations)
+	}
+}

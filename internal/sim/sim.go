@@ -1,0 +1,179 @@
+// Package sim implements a sequential discrete-event simulation engine.
+//
+// The engine advances a virtual clock from event to event; callbacks run to
+// completion and may schedule further events. All model components (network
+// links, CPUs, processes, daemons) share one Engine, which makes the whole
+// simulation single-threaded and deterministic: given the same seed and the
+// same model, two runs produce bit-identical schedules.
+package sim
+
+import (
+	"fmt"
+
+	"ampom/internal/eventq"
+	"ampom/internal/simtime"
+)
+
+// Engine is a discrete-event scheduler. Create one with New.
+type Engine struct {
+	now     simtime.Time
+	queue   eventq.Queue
+	running bool
+	stopped bool
+
+	// Processed counts events executed since creation; useful for loop
+	// detection in tests and for reporting.
+	Processed uint64
+
+	// MaxEvents aborts the run (with a panic describing the leak) when more
+	// than this many events execute, guarding against runaway models.
+	// Zero means no limit.
+	MaxEvents uint64
+}
+
+// New returns an Engine with the clock at the epoch.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule runs fn after delay d. A negative delay is treated as zero
+// (fire as soon as possible, after already-pending events at the current
+// instant). The returned handle can be passed to Cancel.
+func (e *Engine) Schedule(d simtime.Duration, fn func()) *eventq.Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.queue.Push(e.now.Add(d), fn)
+}
+
+// At schedules fn at the absolute instant t. Instants in the past are
+// clamped to the current time.
+func (e *Engine) At(t simtime.Time, fn func()) *eventq.Event {
+	if t < e.now {
+		t = e.now
+	}
+	return e.queue.Push(t, fn)
+}
+
+// Cancel prevents a scheduled event from firing. It is safe to cancel an
+// event that already fired.
+func (e *Engine) Cancel(ev *eventq.Event) { e.queue.Cancel(ev) }
+
+// Stop makes the current Run return after the executing callback finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue empties, Stop is called,
+// or the next event would fire after the until instant. It returns the
+// virtual time at which it stopped. Use simtime.Never to run to quiescence.
+func (e *Engine) Run(until simtime.Time) simtime.Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for !e.stopped {
+		next := e.queue.Peek()
+		if next == nil {
+			break
+		}
+		if next.At > until {
+			// Do not advance the clock past the horizon.
+			if until > e.now {
+				e.now = until
+			}
+			return e.now
+		}
+		ev := e.queue.Pop()
+		if ev.At > e.now {
+			e.now = ev.At
+		}
+		fn := ev.Fn
+		ev.Fn = nil
+		if fn != nil {
+			fn()
+		}
+		e.Processed++
+		if e.MaxEvents != 0 && e.Processed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: event budget exceeded (%d events, t=%v)", e.Processed, e.now))
+		}
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue is empty and returns the final
+// virtual time.
+func (e *Engine) RunAll() simtime.Time { return e.Run(simtime.Never) }
+
+// Timer is a cancellable, re-armable one-shot timer bound to an engine.
+// The zero value is unusable; create with NewTimer.
+type Timer struct {
+	eng *Engine
+	ev  *eventq.Event
+	fn  func()
+}
+
+// NewTimer returns a timer that runs fn when it expires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Arm (re)schedules the timer d from now, cancelling any earlier schedule.
+func (t *Timer) Arm(d simtime.Duration) {
+	t.Disarm()
+	t.ev = t.eng.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Disarm cancels the pending expiry, if any.
+func (t *Timer) Disarm() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Ticker repeatedly invokes a callback at a fixed virtual period until
+// stopped.
+type Ticker struct {
+	eng    *Engine
+	period simtime.Duration
+	ev     *eventq.Event
+	fn     func()
+}
+
+// NewTicker creates and starts a ticker with the given period. The first
+// tick fires one period from now. A non-positive period panics.
+func NewTicker(eng *Engine, period simtime.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.eng.Schedule(t.period, func() {
+		t.schedule()
+		t.fn()
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}

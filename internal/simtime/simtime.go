@@ -1,0 +1,109 @@
+// Package simtime defines the virtual time base used by the discrete-event
+// simulator. Virtual time is an int64 nanosecond count so that simulations
+// are exactly reproducible across runs and platforms; no wall-clock time is
+// ever consulted.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant in virtual time, in nanoseconds since the start of the
+// simulation. The zero Time is the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is deliberately a
+// distinct type from time.Duration so that virtual and wall-clock durations
+// cannot be mixed by accident, although the unit (ns) is the same.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Never is a sentinel Time later than any reachable simulation instant.
+const Never = Time(1<<63 - 1)
+
+// Add returns the instant d after t. It saturates at Never on overflow.
+func (t Time) Add(d Duration) Time {
+	s := Time(int64(t) + int64(d))
+	if d > 0 && s < t {
+		return Never
+	}
+	return s
+}
+
+// Sub returns the duration from u to t (t − u).
+func (t Time) Sub(u Time) Duration { return Duration(int64(t) - int64(u)) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the time as a floating-point number of seconds since the
+// epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant as seconds with microsecond precision.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of
+// milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Std converts the virtual duration to a time.Duration. Both are nanosecond
+// counts, so the conversion is exact.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// String formats the duration using the standard library notation.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// FromSeconds converts a floating-point number of seconds to a Duration,
+// rounding to the nearest nanosecond.
+func FromSeconds(s float64) Duration {
+	if s <= 0 {
+		return 0
+	}
+	return Duration(s*float64(Second) + 0.5)
+}
+
+// FromStd converts a time.Duration to a virtual Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) }
+
+// Rate is an event rate in events per second of virtual time.
+type Rate float64
+
+// Interval returns the mean spacing between events at rate r. A non-positive
+// rate yields Never-like spacing (the maximum Duration).
+func (r Rate) Interval() Duration {
+	if r <= 0 {
+		return Duration(1<<63 - 1)
+	}
+	return FromSeconds(1 / float64(r))
+}
+
+// Over computes the rate of n events over duration d. A non-positive
+// duration yields 0.
+func Over(n int, d Duration) Rate {
+	if d <= 0 || n <= 0 {
+		return 0
+	}
+	return Rate(float64(n) / d.Seconds())
+}

@@ -1,0 +1,153 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeAdd(t *testing.T) {
+	tm := Time(0)
+	if got := tm.Add(Second); got != Time(1e9) {
+		t.Fatalf("Add(Second) = %v, want 1e9", int64(got))
+	}
+	if got := tm.Add(-Second); got != Time(-1e9) {
+		t.Fatalf("Add(-Second) = %v, want -1e9", int64(got))
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	near := Never - 10
+	if got := near.Add(Duration(100)); got != Never {
+		t.Fatalf("overflowing Add = %v, want Never", got)
+	}
+	if got := near.Add(5); got != Never-5 {
+		t.Fatalf("non-overflowing Add = %v, want %v", got, Never-5)
+	}
+}
+
+func TestTimeSub(t *testing.T) {
+	a, b := Time(5*Second), Time(2*Second)
+	if got := a.Sub(b); got != 3*Second {
+		t.Fatalf("Sub = %v, want 3s", got)
+	}
+	if got := b.Sub(a); got != -3*Second {
+		t.Fatalf("Sub = %v, want -3s", got)
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	a, b := Time(1), Time(2)
+	if !a.Before(b) || b.Before(a) || a.Before(a) {
+		t.Fatal("Before misordered")
+	}
+	if !b.After(a) || a.After(b) || a.After(a) {
+		t.Fatal("After misordered")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Time(1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+	if got := (2500 * Microsecond).Seconds(); got != 0.0025 {
+		t.Fatalf("Duration.Seconds = %v, want 0.0025", got)
+	}
+	if got := (3 * Millisecond).Milliseconds(); got != 3 {
+		t.Fatalf("Milliseconds = %v, want 3", got)
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Duration
+	}{
+		{1, Second},
+		{0.001, Millisecond},
+		{0, 0},
+		{-5, 0},
+		{1e-9, Nanosecond},
+	}
+	for _, c := range cases {
+		if got := FromSeconds(c.in); got != c.want {
+			t.Errorf("FromSeconds(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	// Restricted to durations well inside float64's integer-exact range;
+	// beyond ~2^52 ns the conversion is correct only to 1 ulp.
+	f := func(ms uint16) bool {
+		d := Duration(ms) * Millisecond
+		return FromSeconds(d.Seconds()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdConversion(t *testing.T) {
+	if got := (250 * Millisecond).Std(); got != 250*time.Millisecond {
+		t.Fatalf("Std = %v", got)
+	}
+	if got := FromStd(2 * time.Second); got != 2*Second {
+		t.Fatalf("FromStd = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := Time(1500 * Millisecond).String(); got != "1.500000s" {
+		t.Fatalf("Time.String = %q", got)
+	}
+	if got := Never.String(); got != "never" {
+		t.Fatalf("Never.String = %q", got)
+	}
+	if got := (90 * Second).String(); got != "1m30s" {
+		t.Fatalf("Duration.String = %q", got)
+	}
+}
+
+func TestRateInterval(t *testing.T) {
+	if got := Rate(1000).Interval(); got != Millisecond {
+		t.Fatalf("Interval = %v, want 1ms", got)
+	}
+	if got := Rate(0).Interval(); got != Duration(1<<63-1) {
+		t.Fatalf("zero-rate Interval = %v", got)
+	}
+	if got := Rate(-3).Interval(); got != Duration(1<<63-1) {
+		t.Fatalf("negative-rate Interval = %v", got)
+	}
+}
+
+func TestOver(t *testing.T) {
+	if got := Over(100, Second); got != 100 {
+		t.Fatalf("Over = %v, want 100", got)
+	}
+	if got := Over(0, Second); got != 0 {
+		t.Fatalf("Over with zero events = %v", got)
+	}
+	if got := Over(10, 0); got != 0 {
+		t.Fatalf("Over with zero duration = %v", got)
+	}
+	if got := Over(10, -Second); got != 0 {
+		t.Fatalf("Over with negative duration = %v", got)
+	}
+}
+
+func TestRateIntervalInverse(t *testing.T) {
+	f := func(n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := Rate(n)
+		// rate → interval → rate round-trips within the ns-rounding error.
+		back := Over(1, r.Interval())
+		diff := float64(back) - float64(r)
+		return diff < 1e-4*float64(r) && diff > -1e-4*float64(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

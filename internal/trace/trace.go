@@ -1,0 +1,95 @@
+// Package trace defines page-reference streams — the interface between
+// workload models and the migration machinery — and implements the locality
+// mathematics of the paper: stride detection and the spatial locality score
+// of §3.2 (a variant of Weinberg et al.'s score), plus a page-level temporal
+// reuse score used to reproduce the locality quadrants of Figure 4.
+package trace
+
+import (
+	"ampom/internal/memory"
+	"ampom/internal/simtime"
+)
+
+// Ref is one page-level memory reference: the process computes for Compute
+// of CPU time and then touches Page. Write reports whether the touch dirties
+// the page.
+type Ref struct {
+	Page    memory.PageNum
+	Compute simtime.Duration
+	Write   bool
+}
+
+// Source produces a finite stream of references. Implementations need not
+// be safe for concurrent use; a simulation drives one source from one
+// goroutine.
+type Source interface {
+	// Next returns the next reference. ok is false when the stream is
+	// exhausted, after which Next must keep returning ok == false.
+	Next() (ref Ref, ok bool)
+}
+
+// SliceSource replays a fixed slice of references.
+type SliceSource struct {
+	refs []Ref
+	pos  int
+}
+
+// NewSliceSource returns a Source replaying refs in order.
+func NewSliceSource(refs []Ref) *SliceSource { return &SliceSource{refs: refs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Ref, bool) {
+	if s.pos >= len(s.refs) {
+		return Ref{}, false
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// FuncSource adapts a closure to the Source interface.
+type FuncSource func() (Ref, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() (Ref, bool) { return f() }
+
+// Collect drains src into a slice, up to max references (max <= 0 means no
+// limit). Intended for tests and offline analysis; simulations stream.
+func Collect(src Source, max int) []Ref {
+	var out []Ref
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Pages extracts just the page numbers of refs.
+func Pages(refs []Ref) []memory.PageNum {
+	out := make([]memory.PageNum, len(refs))
+	for i, r := range refs {
+		out[i] = r.Page
+	}
+	return out
+}
+
+// CollapseRepeats removes consecutive references to the same page. The
+// paper treats consecutive repeated references as temporal locality and
+// counts them as a single page reference (§3.1: r_p != r_{p+1}).
+func CollapseRepeats(pages []memory.PageNum) []memory.PageNum {
+	out := pages[:0:0]
+	for i, p := range pages {
+		if i == 0 || p != pages[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
