@@ -1,0 +1,35 @@
+# Developer/CI entry points. `make ci` is the gate: formatting, vet, build,
+# the full test suite, and the race detector over the concurrent campaign
+# engine.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench bench-campaign
+
+ci: fmt-check vet build test race
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# BenchmarkCampaign compares a sequential full-matrix campaign against the
+# worker pool (byte-identical output either way).
+bench-campaign:
+	$(GO) test -run '^$$' -bench BenchmarkCampaign -benchtime 2x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

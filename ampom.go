@@ -19,6 +19,7 @@
 package ampom
 
 import (
+	"ampom/internal/campaign"
 	"ampom/internal/core"
 	"ampom/internal/emu"
 	"ampom/internal/harness"
@@ -100,11 +101,38 @@ func AllSchemes() []Scheme { return migrate.AllSchemes() }
 type (
 	// Campaign memoises an experiment matrix and renders figures.
 	Campaign = harness.Matrix
-	// CampaignConfig scopes a campaign (scale divisor, seed).
+	// CampaignConfig scopes a campaign (scale divisor, seed, worker count).
 	CampaignConfig = harness.Config
 	// FigureTable is a rendered experiment artefact.
 	FigureTable = harness.Table
 )
+
+// Campaign-engine aliases: the parallel worker pool underneath the figure
+// harness, usable directly for custom experiment sweeps.
+type (
+	// CampaignJob identifies one experiment cell (kernel, footprint,
+	// scheme, network, prefetcher configuration).
+	CampaignJob = campaign.Job
+	// CampaignEngine fans jobs across a worker pool with a deterministic,
+	// concurrency-safe result cache.
+	CampaignEngine = campaign.Engine
+	// CampaignOptions configures a CampaignEngine.
+	CampaignOptions = campaign.Options
+	// CampaignProgress is one progress/ETA sample of a running batch.
+	CampaignProgress = campaign.Progress
+	// CampaignRunError aggregates the failures of a campaign batch.
+	CampaignRunError = campaign.RunError
+)
+
+// NewCampaignEngine returns a parallel experiment engine. Per-job seeds are
+// derived from the job key, so any worker count produces identical results.
+func NewCampaignEngine(opts CampaignOptions) *CampaignEngine { return campaign.New(opts) }
+
+// DeriveJobSeed exposes the engine's seed derivation: a pure function of
+// the campaign base seed and a job fingerprint.
+func DeriveJobSeed(base uint64, fingerprint string) uint64 {
+	return campaign.DeriveSeed(base, fingerprint)
+}
 
 // NewPrefetcher returns an AMPoM engine for an address space of totalPages
 // pages. A zero PrefetcherConfig takes the paper's defaults (l=20, dmax=4).

@@ -105,3 +105,47 @@ func TestFacadeLocality(t *testing.T) {
 		t.Fatalf("STREAM temporal = %v", tmp)
 	}
 }
+
+// TestFacadeCampaignEngine drives the re-exported parallel campaign engine:
+// a small scheme sweep must be cache-shared, deterministic across worker
+// counts, and reproducible through the derived job seeds.
+func TestFacadeCampaignEngine(t *testing.T) {
+	jobs := []CampaignJob{
+		{Kernel: STREAM, MemoryMB: 8, Scheme: SchemeAMPoM},
+		{Kernel: STREAM, MemoryMB: 8, Scheme: SchemeOpenMosix},
+		{Kernel: STREAM, MemoryMB: 8, Scheme: SchemeAMPoM}, // duplicate
+	}
+	seq := NewCampaignEngine(CampaignOptions{Workers: 1, BaseSeed: 9})
+	par := NewCampaignEngine(CampaignOptions{Workers: 4, BaseSeed: 9})
+	sres, err := seq.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := par.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Executed() != 2 || par.Executed() != 2 {
+		t.Fatalf("executed %d/%d distinct jobs, want 2", seq.Executed(), par.Executed())
+	}
+	for i := range jobs {
+		if sres[i].Total != pres[i].Total || sres[i].HardFaults != pres[i].HardFaults {
+			t.Fatalf("job %d: sequential and parallel results differ", i)
+		}
+	}
+	if DeriveJobSeed(9, jobs[0].Fingerprint()) != DeriveJobSeed(9, jobs[2].Fingerprint()) {
+		t.Fatal("identical jobs derived different seeds")
+	}
+	if DeriveJobSeed(9, jobs[0].Fingerprint()) == DeriveJobSeed(10, jobs[0].Fingerprint()) {
+		t.Fatal("base seed ignored by seed derivation")
+	}
+}
+
+// TestFacadeCampaignWorkers checks the harness-level Workers plumbing.
+func TestFacadeCampaignWorkers(t *testing.T) {
+	seq := NewCampaign(CampaignConfig{Scale: 16, Seed: 7, Workers: 1}).Table1().Render()
+	par := NewCampaign(CampaignConfig{Scale: 16, Seed: 7, Workers: 8}).Table1().Render()
+	if seq != par {
+		t.Fatal("Table 1 differs across worker counts")
+	}
+}

@@ -251,3 +251,28 @@ func BenchmarkLinkThroughput(b *testing.B) {
 	}
 	eng.RunAll()
 }
+
+// BenchmarkCampaign runs the full figure/ablation matrix through the
+// campaign engine, sequentially and through the worker pool. Per-job seeds
+// are derived from the job key, so both variants produce byte-identical
+// tables; on a multicore machine the parallel variant approaches a
+// core-count speedup because the matrix is embarrassingly parallel.
+func BenchmarkCampaign(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // GOMAXPROCS workers
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := harness.NewMatrix(harness.Config{Scale: benchScale(), Seed: 42, Workers: v.workers})
+				if err := m.Prewarm(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.Engine().Executed()), "jobs/op")
+			}
+		})
+	}
+}

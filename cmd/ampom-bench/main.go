@@ -8,6 +8,12 @@
 //	ampom-bench -scale 16              # quick 1/16-scale pass
 //	ampom-bench -figure fig7 -csv      # one figure, CSV output
 //	ampom-bench -ablations             # the ablation studies as well
+//	ampom-bench -j 8 -progress         # 8 workers, progress/ETA on stderr
+//	ampom-bench -parallel=false        # force strictly sequential runs
+//
+// The experiment matrix is fanned out across a worker pool; per-job seeds
+// are derived from the job key, so any -j value renders byte-identical
+// tables.
 package main
 
 import (
@@ -25,9 +31,26 @@ func main() {
 	figure := flag.String("figure", "all", "which artefact to print: all, table1, fig4..fig11")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
+	parallel := flag.Bool("parallel", true, "run the experiment matrix through the worker pool")
+	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS; implies -parallel)")
+	progress := flag.Bool("progress", false, "report campaign progress and ETA on stderr")
 	flag.Parse()
 
-	c := ampom.NewCampaign(ampom.CampaignConfig{Scale: *scale, Seed: *seed})
+	workers := *jobs
+	if !*parallel && *jobs == 0 {
+		workers = 1
+	}
+	cfg := ampom.CampaignConfig{Scale: *scale, Seed: *seed, Workers: workers}
+	if *progress {
+		cfg.Progress = func(p ampom.CampaignProgress) {
+			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d done (%d failed) elapsed %v eta %v    ",
+				p.Done, p.Total, p.Failed, p.Elapsed.Round(1e8), p.ETA.Round(1e8))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	c := ampom.NewCampaign(cfg)
 
 	selected := map[string]func() *ampom.FigureTable{
 		"table1": c.Table1,
@@ -41,23 +64,68 @@ func main() {
 		"fig11":  c.Figure11,
 	}
 	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+	name := strings.ToLower(*figure)
+	if _, ok := selected[name]; name != "all" && !ok {
+		fmt.Fprintf(os.Stderr, "ampom-bench: unknown figure %q (want all, table1, fig4..fig11)\n", *figure)
+		os.Exit(2)
+	}
 
-	var tables []*ampom.FigureTable
-	switch strings.ToLower(*figure) {
-	case "all":
-		for _, name := range order {
-			tables = append(tables, selected[name]())
-		}
+	// Fan the requested matrix out up front: every failure is reported, not
+	// just the first, and rendering then reads warm cache. Single figures
+	// prewarm just their own cells, so -j and -progress apply there too. A
+	// partial failure does not abort the run: the healthy artefacts still
+	// render below, and the exit code reports the damage.
+	exitCode := 0
+	var err error
+	switch {
+	case name == "all" && *ablations:
+		err = c.Prewarm()
+	case name == "all":
+		err = c.PrewarmFigures()
 	default:
-		gen, ok := selected[strings.ToLower(*figure)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ampom-bench: unknown figure %q (want all, table1, fig4..fig11)\n", *figure)
-			os.Exit(2)
+		err = c.PrewarmFigure(name)
+		if err == nil && *ablations {
+			err = c.PrewarmAblations()
 		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ampom-bench: %v\n", err)
+		exitCode = 1
+	}
+
+	// render generates one artefact, skipping (not aborting) those whose
+	// cells failed during the prewarm.
+	var tables []*ampom.FigureTable
+	render := func(artefact string, gen func() *ampom.FigureTable) {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Fprintf(os.Stderr, "ampom-bench: skipping %s: %v\n", artefact, r)
+				exitCode = 1
+			}
+		}()
 		tables = append(tables, gen())
 	}
+
+	if name == "all" {
+		for _, n := range order {
+			render(n, selected[n])
+		}
+	} else {
+		render(name, selected[name])
+	}
 	if *ablations {
-		tables = append(tables, c.AllAblations()...)
+		for _, a := range []struct {
+			name string
+			gen  func() *ampom.FigureTable
+		}{
+			{"ablation-schemes", c.AblationSchemes},
+			{"ablation-baseline", c.AblationBaseline},
+			{"ablation-window", c.AblationWindow},
+			{"ablation-dmax", c.AblationDMax},
+			{"ablation-cap", c.AblationCap},
+		} {
+			render(a.name, a.gen)
+		}
 	}
 
 	for i, t := range tables {
@@ -70,4 +138,5 @@ func main() {
 			fmt.Print(t.Render())
 		}
 	}
+	os.Exit(exitCode)
 }

@@ -1,0 +1,3 @@
+module ampom
+
+go 1.24

@@ -1,0 +1,440 @@
+// Package campaign is the parallel experiment engine behind the figure
+// harness: it fans an embarrassingly-parallel matrix of migration
+// experiments (kernel × memory size × scheme × network profile × prefetcher
+// configuration) out across a bounded worker pool, memoises results in a
+// concurrency-safe single-flight cache so cells shared between figures are
+// computed once, and aggregates per-job failures instead of aborting the
+// whole campaign at the first one.
+//
+// Determinism is the load-bearing property: every job's PRNG seed is derived
+// from the campaign base seed and the job's canonical fingerprint alone —
+// never from execution order, worker identity or wall-clock — so a campaign
+// run with 16 workers produces byte-identical tables to a sequential run.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ampom/internal/core"
+	"ampom/internal/hpcc"
+	"ampom/internal/migrate"
+	"ampom/internal/netmodel"
+)
+
+// Job identifies one cell of an experiment campaign. The zero values of
+// Network and AMPoM mean the defaults (Fast Ethernet, the paper's §4
+// configuration); they are normalised before fingerprinting so equivalent
+// jobs share one cache cell.
+type Job struct {
+	// Kernel is the HPCC kernel to run.
+	Kernel hpcc.Kernel
+	// MemoryMB is the process footprint — or, when AllocMB is set, the
+	// working set actually touched (§5.6).
+	MemoryMB int64
+	// AllocMB, when > 0, builds the §5.6 modified-DGEMM variant: AllocMB
+	// allocated, MemoryMB worked on.
+	AllocMB int64
+	// Scheme is the migration mechanism.
+	Scheme migrate.Scheme
+	// Network is the link profile; zero value means Fast Ethernet.
+	Network netmodel.Profile
+	// AMPoM tunes the prefetcher (AMPoM scheme only); zero value means the
+	// paper's defaults.
+	AMPoM core.Config
+	// BackgroundLoad is the fraction of link bandwidth consumed by
+	// competing traffic.
+	BackgroundLoad float64
+}
+
+// normalised maps every "use the default" zero value to the default it
+// stands for, so that jobs which run identically fingerprint identically.
+func (j Job) normalised() Job {
+	if j.AllocMB > 0 {
+		// The §5.6 working-set workload is the modified DGEMM regardless of
+		// the requested kernel (hpcc.BuildWorkingSet models only that);
+		// canonicalise so the label, fingerprint and seed all agree.
+		j.Kernel = hpcc.DGEMM
+	}
+	if j.Network.BandwidthBps == 0 {
+		j.Network = netmodel.FastEthernet()
+	}
+	if j.Scheme != migrate.AMPoM {
+		// The prefetcher configuration is dead weight for every other
+		// scheme; zero it so e.g. an openMosix baseline requested by an
+		// ablation shares its cell with the one requested by Figure 5.
+		j.AMPoM = core.Config{}
+	} else {
+		j.AMPoM = j.AMPoM.Canonical()
+	}
+	return j
+}
+
+// Fingerprint returns the job's canonical cache/seed key. Two jobs with the
+// same fingerprint run the same experiment and share one cache cell.
+func (j Job) Fingerprint() string {
+	j = j.normalised()
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel=%s|mb=%d|alloc=%d|scheme=%s|net=%s/%d/%g|load=%g",
+		j.Kernel, j.MemoryMB, j.AllocMB, j.Scheme,
+		j.Network.Name, int64(j.Network.LatencyOneWay), j.Network.BandwidthBps,
+		j.BackgroundLoad)
+	if j.Scheme == migrate.AMPoM {
+		fmt.Fprintf(&b, "|ampom=l%d,d%d,cap%d,bl%g",
+			j.AMPoM.WindowLen, j.AMPoM.DMax, j.AMPoM.MaxPrefetch, j.AMPoM.BaselineScore)
+	}
+	return b.String()
+}
+
+// WorkloadFingerprint identifies just the workload the job runs on —
+// kernel, footprint and working-set allocation. Per-job seeds are derived
+// from this sub-key rather than the full fingerprint, so every scheme,
+// network and prefetcher variant measured on one workload replays the
+// identical reference stream: the cross-scheme comparisons the figures
+// report hold the workload fixed, as the paper's testbed did.
+func (j Job) WorkloadFingerprint() string {
+	j = j.normalised()
+	return fmt.Sprintf("kernel=%s|mb=%d|alloc=%d", j.Kernel, j.MemoryMB, j.AllocMB)
+}
+
+// String describes the job in progress reports and errors.
+func (j Job) String() string {
+	j = j.normalised()
+	if j.AllocMB > 0 {
+		return fmt.Sprintf("%v(%dMB/%dMB)/%v", j.Kernel, j.MemoryMB, j.AllocMB, j.Scheme)
+	}
+	return fmt.Sprintf("%v(%dMB)/%v", j.Kernel, j.MemoryMB, j.Scheme)
+}
+
+// DeriveSeed mixes the campaign base seed with a job fingerprint into the
+// job's private PRNG seed. The derivation is a pure function of its two
+// arguments (FNV-1a over the fingerprint, then a SplitMix64 finalisation),
+// which is what makes parallel campaigns reproducible: a job draws the same
+// random stream no matter which worker runs it or in what order.
+func DeriveSeed(base uint64, fingerprint string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(fingerprint); i++ {
+		h ^= uint64(fingerprint[i])
+		h *= fnvPrime
+	}
+	z := h ^ (base + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Progress is one campaign progress sample, delivered after each job
+// completes (including cache hits, which complete instantly).
+type Progress struct {
+	// Done counts finished jobs of the batch; Failed of those failed.
+	Done, Failed int
+	// Total is the batch size.
+	Total int
+	// Elapsed is wall-clock time since the batch started.
+	Elapsed time.Duration
+	// ETA extrapolates the remaining wall-clock time from the pace so far.
+	ETA time.Duration
+	// Job is the job that just finished.
+	Job Job
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the worker pool: 0 means GOMAXPROCS, 1 runs batches
+	// sequentially.
+	Workers int
+	// BaseSeed is the campaign seed every per-job seed is derived from.
+	// Zero means 42.
+	BaseSeed uint64
+	// Calibration overrides the simulator cost constants; nil means the
+	// Gideon 300 defaults.
+	Calibration *migrate.Calibration
+	// OnProgress, when set, is called after every job of a RunAll batch
+	// completes. Calls are serialised; the callback must not block long.
+	OnProgress func(Progress)
+}
+
+// Engine executes campaign jobs through a worker pool and a single-flight
+// result cache. It is safe for concurrent use.
+type Engine struct {
+	opts    Options
+	workers int
+
+	mu    sync.Mutex
+	cells map[string]*cell
+
+	statMu   sync.Mutex
+	executed int
+	requests int
+
+	now func() time.Time // test hook
+}
+
+// cell is one single-flight cache slot: the first requester computes, every
+// later requester blocks on done and shares the outcome.
+type cell struct {
+	done chan struct{}
+	res  *migrate.Result
+	err  error
+}
+
+// New returns an engine for the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if opts.BaseSeed == 0 {
+		opts.BaseSeed = 42
+	}
+	return &Engine{
+		opts:    opts,
+		workers: w,
+		cells:   make(map[string]*cell),
+		now:     time.Now,
+	}
+}
+
+// Workers returns the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// BaseSeed returns the campaign seed.
+func (e *Engine) BaseSeed() uint64 { return e.opts.BaseSeed }
+
+// Executed returns how many jobs the engine actually simulated (cache
+// misses). Requests returns how many Run calls it served in total.
+func (e *Engine) Executed() int {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.executed
+}
+
+// Requests returns the total number of Run calls served (hits + misses).
+func (e *Engine) Requests() int {
+	e.statMu.Lock()
+	defer e.statMu.Unlock()
+	return e.requests
+}
+
+// SeedFor returns the PRNG seed a job's workload is built and run with —
+// the derivation the engine itself uses, exposed so out-of-band analyses
+// (e.g. the Figure 4 locality measurement) can replay the exact stream the
+// campaign simulates.
+func (e *Engine) SeedFor(j Job) uint64 {
+	return DeriveSeed(e.opts.BaseSeed, j.WorkloadFingerprint())
+}
+
+// Run executes one job, memoised: concurrent calls with the same
+// fingerprint run the simulation once and share the result.
+func (e *Engine) Run(job Job) (*migrate.Result, error) {
+	e.statMu.Lock()
+	e.requests++
+	e.statMu.Unlock()
+
+	fp := job.Fingerprint()
+	e.mu.Lock()
+	c, ok := e.cells[fp]
+	if ok {
+		e.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c = &cell{done: make(chan struct{})}
+	e.cells[fp] = c
+	e.mu.Unlock()
+
+	// Always release waiters, even if the simulator panics underneath us
+	// and a caller up the stack recovers: the panic is recorded as the
+	// cell's error (so the poisoned cell fails fast forever after) and
+	// then re-raised.
+	defer close(c.done)
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("campaign: %v: panic during simulation: %v", job, r)
+			panic(r)
+		}
+	}()
+	c.res, c.err = e.execute(job.normalised())
+	e.statMu.Lock()
+	e.executed++
+	e.statMu.Unlock()
+	return c.res, c.err
+}
+
+// execute simulates one job with its derived seed.
+func (e *Engine) execute(j Job) (*migrate.Result, error) {
+	seed := e.SeedFor(j)
+	var (
+		w   *hpcc.Workload
+		err error
+	)
+	if j.AllocMB > 0 {
+		w, err = hpcc.BuildWorkingSet(j.AllocMB, j.MemoryMB, seed)
+	} else {
+		w, err = hpcc.Build(hpcc.Entry{Kernel: j.Kernel, ProblemSize: j.MemoryMB, MemoryMB: j.MemoryMB}, seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: building %v: %w", j, err)
+	}
+	r, err := migrate.Run(migrate.RunConfig{
+		Workload:       w,
+		Scheme:         j.Scheme,
+		Network:        j.Network,
+		AMPoM:          j.AMPoM,
+		Calibration:    e.opts.Calibration,
+		Seed:           seed,
+		BackgroundLoad: j.BackgroundLoad,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: running %v: %w", j, err)
+	}
+	return r, nil
+}
+
+// JobError ties a failed job to its error.
+type JobError struct {
+	Job Job
+	Err error
+}
+
+func (e JobError) Error() string { return fmt.Sprintf("%v: %v", e.Job, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e JobError) Unwrap() error { return e.Err }
+
+// RunError aggregates every failure of a campaign batch. The batch's healthy
+// jobs still complete and return results — a broken ablation cell no longer
+// takes the whole figure regeneration down with it.
+type RunError struct {
+	// Total is the batch size the failures came from.
+	Total    int
+	Failures []JobError
+}
+
+func (e *RunError) Error() string {
+	if len(e.Failures) == 0 {
+		return "campaign: no failures"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d/%d job(s) failed", len(e.Failures), e.Total)
+	for i, f := range e.Failures {
+		if i == 4 && len(e.Failures) > 5 {
+			fmt.Fprintf(&b, "; … %d more", len(e.Failures)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; %v", f)
+	}
+	return b.String()
+}
+
+// RunAll executes a batch of jobs across the worker pool and returns one
+// result per job, in input order. Duplicate or already-cached jobs are
+// served from the cache. Failures are aggregated into a *RunError (sorted
+// by job fingerprint for determinism); the corresponding result slots are
+// nil and every other job still runs to completion.
+func (e *Engine) RunAll(jobs []Job) ([]*migrate.Result, error) {
+	results := make([]*migrate.Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	start := e.now()
+	var (
+		progMu sync.Mutex
+		done   int
+		failed int
+	)
+	report := func(i int) {
+		if e.opts.OnProgress == nil {
+			return
+		}
+		progMu.Lock()
+		done++
+		if errs[i] != nil {
+			failed++
+		}
+		elapsed := e.now().Sub(start)
+		var eta time.Duration
+		if done > 0 && done < len(jobs) {
+			eta = time.Duration(float64(elapsed) / float64(done) * float64(len(jobs)-done))
+		}
+		e.opts.OnProgress(Progress{
+			Done: done, Failed: failed, Total: len(jobs),
+			Elapsed: elapsed, ETA: eta, Job: jobs[i],
+		})
+		progMu.Unlock()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = e.Run(jobs[i])
+				report(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var failures []JobError
+	seen := make(map[string]bool)
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		fp := jobs[i].Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		failures = append(failures, JobError{Job: jobs[i], Err: err})
+	}
+	if len(failures) == 0 {
+		return results, nil
+	}
+	sort.Slice(failures, func(i, j int) bool {
+		return failures[i].Job.Fingerprint() < failures[j].Job.Fingerprint()
+	})
+	return results, &RunError{Total: len(jobs), Failures: failures}
+}
+
+// Dedupe returns jobs with duplicate fingerprints removed, preserving first
+// occurrence order — handy for enumerating a figure matrix whose tables
+// share cells.
+func Dedupe(jobs []Job) []Job {
+	seen := make(map[string]bool, len(jobs))
+	out := jobs[:0:0]
+	for _, j := range jobs {
+		fp := j.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		out = append(out, j)
+	}
+	return out
+}

@@ -61,8 +61,16 @@ func DefaultConfig() Config {
 	}
 }
 
-// normalised fills in zero fields and validates.
-func (c Config) normalised() (Config, error) {
+// Canonical returns the configuration with every "use the default" zero
+// field replaced by the default it stands for, and any negative
+// BaselineScore collapsed to the canonical disabled sentinel -1. The result
+// is a fixed point: feeding it back through Canonical (or constructing a
+// Prefetcher from it) changes nothing — the disabled sentinel must stay
+// distinct from zero, which on input means "use the default". Two Configs
+// with equal canonical forms configure identical behavior; the campaign
+// engine builds its cache fingerprints from this, so keep it the single
+// source of truth when adding fields or changing defaults.
+func (c Config) Canonical() Config {
 	if c.WindowLen == 0 {
 		c.WindowLen = DefaultWindowLen
 	}
@@ -76,7 +84,16 @@ func (c Config) normalised() (Config, error) {
 		c.BaselineScore = DefaultBaselineScore
 	}
 	if c.BaselineScore < 0 {
-		c.BaselineScore = 0
+		c.BaselineScore = -1
+	}
+	return c
+}
+
+// normalised fills in zero fields and validates.
+func (c Config) normalised() (Config, error) {
+	c = c.Canonical()
+	if c.BaselineScore < 0 {
+		c.BaselineScore = 0 // disabled: the score floor vanishes
 	}
 	if c.BaselineScore > 1 {
 		return c, fmt.Errorf("core: BaselineScore %v out of range (need <= 1)", c.BaselineScore)

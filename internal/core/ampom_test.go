@@ -427,3 +427,25 @@ func TestCostModel(t *testing.T) {
 		t.Fatalf("cost = %v implausibly high", cost)
 	}
 }
+
+// TestCanonicalFixedPoint: Canonical must be idempotent and must keep the
+// disabled-baseline sentinel distinct from "use the default" — the campaign
+// engine's cache fingerprints and the Prefetcher construction both rely on
+// round-tripping the canonical form without reinterpretation.
+func TestCanonicalFixedPoint(t *testing.T) {
+	for _, c := range []Config{
+		{},
+		DefaultConfig(),
+		{BaselineScore: -1},
+		{BaselineScore: -0.3},
+		{WindowLen: 5, DMax: 2},
+	} {
+		canon := c.Canonical()
+		if canon != canon.Canonical() {
+			t.Errorf("Canonical not idempotent: %+v -> %+v", canon, canon.Canonical())
+		}
+	}
+	if (Config{BaselineScore: -2}).Canonical() == DefaultConfig().Canonical() {
+		t.Error("disabled baseline canonicalises to the default configuration")
+	}
+}

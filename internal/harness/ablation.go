@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"ampom/internal/campaign"
 	"ampom/internal/core"
 	"ampom/internal/hpcc"
 	"ampom/internal/migrate"
@@ -12,21 +13,10 @@ import (
 // calls out by re-running representative workloads with one knob changed.
 
 // ablate runs one AMPoM experiment with a custom prefetcher configuration.
-func (m *Matrix) ablate(k hpcc.Kernel, mb int64, cfg core.Config, tag string) *migrate.Result {
-	key := runKey{k, mb, migrate.AMPoM, "ablate:" + tag}
-	if r, ok := m.runs[key]; ok {
-		return r
-	}
-	w, err := hpcc.Build(hpcc.Entry{Kernel: k, ProblemSize: mb, MemoryMB: mb}, m.cfg.Seed)
-	if err != nil {
-		panic(fmt.Sprintf("harness: ablation workload: %v", err))
-	}
-	r, err := migrate.Run(migrate.RunConfig{Workload: w, Scheme: migrate.AMPoM, AMPoM: cfg, Seed: m.cfg.Seed})
-	if err != nil {
-		panic(fmt.Sprintf("harness: ablation run: %v", err))
-	}
-	m.runs[key] = r
-	return r
+// The campaign fingerprint covers the configuration, so variants cache
+// independently and the default-config cell is shared with the figures.
+func (m *Matrix) ablate(k hpcc.Kernel, mb int64, cfg core.Config) *migrate.Result {
+	return m.mustRun(campaign.Job{Kernel: k, MemoryMB: mb, Scheme: migrate.AMPoM, AMPoM: cfg})
 }
 
 // AblationBaseline compares the §5.3 read-ahead baseline against pure
@@ -42,7 +32,7 @@ func (m *Matrix) AblationBaseline() *Table {
 	for _, bl := range []float64{-1, 0.2, core.DefaultBaselineScore, 0.9} {
 		cfg := core.DefaultConfig()
 		cfg.BaselineScore = bl
-		r := m.ablate(hpcc.RandomAccess, mb, cfg, fmt.Sprintf("bl=%.2f", bl))
+		r := m.ablate(hpcc.RandomAccess, mb, cfg)
 		name := fmt.Sprintf("%.2f", bl)
 		if bl < 0 {
 			name = "off"
@@ -66,7 +56,7 @@ func (m *Matrix) AblationWindow() *Table {
 	for _, l := range []int{5, 10, 20, 40, 80} {
 		cfg := core.DefaultConfig()
 		cfg.WindowLen = l
-		r := m.ablate(hpcc.DGEMM, mb, cfg, fmt.Sprintf("l=%d", l))
+		r := m.ablate(hpcc.DGEMM, mb, cfg)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(l), fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
 			fmt.Sprintf("%.3f", r.OverheadPct),
@@ -87,7 +77,7 @@ func (m *Matrix) AblationDMax() *Table {
 	for _, d := range []int{1, 2, 4, 8} {
 		cfg := core.DefaultConfig()
 		cfg.DMax = d
-		r := m.ablate(hpcc.STREAM, mb, cfg, fmt.Sprintf("dmax=%d", d))
+		r := m.ablate(hpcc.STREAM, mb, cfg)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(d), fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
 			fmt.Sprintf("%.3f", r.MeanScore),
@@ -108,7 +98,7 @@ func (m *Matrix) AblationCap() *Table {
 	for _, cap := range []int{8, 32, 128, 512} {
 		cfg := core.DefaultConfig()
 		cfg.MaxPrefetch = cap
-		r := m.ablate(hpcc.STREAM, mb, cfg, fmt.Sprintf("cap=%d", cap))
+		r := m.ablate(hpcc.STREAM, mb, cfg)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(cap), fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
 			fmt.Sprintf("%.1f", r.PrefetchPerRequest),
@@ -128,19 +118,7 @@ func (m *Matrix) AblationSchemes() *Table {
 	}
 	mb := scaled(575, m.cfg.Scale)
 	for _, s := range migrate.AllSchemes() {
-		key := runKey{hpcc.DGEMM, mb, s, "schemes"}
-		r, ok := m.runs[key]
-		if !ok {
-			w, err := hpcc.Build(hpcc.Entry{Kernel: hpcc.DGEMM, ProblemSize: mb, MemoryMB: mb}, m.cfg.Seed)
-			if err != nil {
-				panic(fmt.Sprintf("harness: scheme ablation workload: %v", err))
-			}
-			r, err = migrate.Run(migrate.RunConfig{Workload: w, Scheme: s, Seed: m.cfg.Seed})
-			if err != nil {
-				panic(fmt.Sprintf("harness: scheme ablation run: %v", err))
-			}
-			m.runs[key] = r
-		}
+		r := m.mustRun(campaign.Job{Kernel: hpcc.DGEMM, MemoryMB: mb, Scheme: s})
 		t.Rows = append(t.Rows, []string{
 			s.String(), fmtSec(r.Freeze.Seconds()), fmtSec(r.Precopy.Seconds()),
 			fmtSec(r.Total.Seconds()), fmt.Sprint(r.HardFaults),
@@ -150,8 +128,12 @@ func (m *Matrix) AblationSchemes() *Table {
 	return t
 }
 
-// AllAblations renders every ablation table.
+// AllAblations renders every ablation table, prewarming the ablation matrix
+// through the campaign worker pool first.
 func (m *Matrix) AllAblations() []*Table {
+	if err := m.PrewarmAblations(); err != nil {
+		panic(err)
+	}
 	return []*Table{
 		m.AblationSchemes(), m.AblationBaseline(), m.AblationWindow(),
 		m.AblationDMax(), m.AblationCap(),

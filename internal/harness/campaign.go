@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"ampom/internal/campaign"
+	"ampom/internal/core"
+	"ampom/internal/hpcc"
+	"ampom/internal/migrate"
+	"ampom/internal/netmodel"
+)
+
+// This file enumerates the full experiment matrix as campaign jobs, so the
+// whole figure/ablation campaign can be fanned out across the engine's
+// worker pool up front and the rendering paths then only hit warm cache.
+
+// grid enumerates kernel × size × scheme cells on the testbed network —
+// the shape Figures 5, 6, 7, 8 and 11 all draw from.
+func (m *Matrix) grid(schemes ...migrate.Scheme) []campaign.Job {
+	var jobs []campaign.Job
+	fe := netmodel.FastEthernet()
+	for _, k := range sortKernels() {
+		for _, mb := range m.sortedSizes(k) {
+			for _, s := range schemes {
+				jobs = append(jobs, campaign.Job{Kernel: k, MemoryMB: mb, Scheme: s, Network: fe})
+			}
+		}
+	}
+	return jobs
+}
+
+// figureJobsFor returns the campaign jobs one named artefact needs (the
+// -figure names of ampom-bench). Table 1 and Figure 4 simulate nothing and
+// return nil.
+func (m *Matrix) figureJobsFor(name string) []campaign.Job {
+	switch name {
+	case "fig5", "fig6":
+		return m.grid(migrate.Schemes()...)
+	case "fig7":
+		return m.grid(migrate.AMPoM, migrate.NoPrefetch)
+	case "fig8", "fig11":
+		return m.grid(migrate.AMPoM)
+	case "fig9":
+		// The broadband adaptation pair on both networks.
+		var jobs []campaign.Job
+		for _, c := range []campaign.Job{
+			{Kernel: hpcc.DGEMM, MemoryMB: scaled(115, m.cfg.Scale)},
+			{Kernel: hpcc.RandomAccess, MemoryMB: scaled(129, m.cfg.Scale)},
+		} {
+			for _, net := range []netmodel.Profile{netmodel.FastEthernet(), netmodel.Broadband()} {
+				for _, s := range migrate.Schemes() {
+					jobs = append(jobs, campaign.Job{Kernel: c.Kernel, MemoryMB: c.MemoryMB, Scheme: s, Network: net})
+				}
+			}
+		}
+		return jobs
+	case "fig10":
+		// The §5.6 working-set sweep.
+		var jobs []campaign.Job
+		alloc := scaled(575, m.cfg.Scale)
+		for _, frac := range []int64{5, 4, 3, 2, 1} {
+			ws := alloc / frac
+			if ws < 1 {
+				ws = 1
+			}
+			for _, s := range []migrate.Scheme{migrate.OpenMosix, migrate.AMPoM} {
+				jobs = append(jobs, campaign.Job{Kernel: hpcc.DGEMM, MemoryMB: ws, AllocMB: alloc, Scheme: s})
+			}
+		}
+		return jobs
+	default:
+		return nil
+	}
+}
+
+// PrewarmFigure fans the named artefact's cells across the worker pool, so
+// single-figure runs still use -j workers and report progress. Unknown or
+// simulation-free names (table1, fig4) are a no-op.
+func (m *Matrix) PrewarmFigure(name string) error {
+	jobs := campaign.Dedupe(m.figureJobsFor(name))
+	if len(jobs) == 0 {
+		return nil
+	}
+	_, err := m.eng.RunAll(jobs)
+	return err
+}
+
+// FigureJobs enumerates every experiment Figures 5–11 need, deduplicated:
+// cells shared between figures (the openMosix baseline of Figures 5, 6 and
+// 9, the AMPoM runs of Figures 5–8 and 11) appear once.
+func (m *Matrix) FigureJobs() []campaign.Job {
+	jobs := m.figureJobsFor("fig5") // covers fig6/7/8/11 as subsets
+	jobs = append(jobs, m.figureJobsFor("fig9")...)
+	jobs = append(jobs, m.figureJobsFor("fig10")...)
+	return campaign.Dedupe(jobs)
+}
+
+// AblationJobs enumerates every experiment the ablation tables need.
+func (m *Matrix) AblationJobs() []campaign.Job {
+	var jobs []campaign.Job
+
+	// Scheme ablation: all five mechanisms on the largest DGEMM.
+	dgemm := scaled(575, m.cfg.Scale)
+	for _, s := range migrate.AllSchemes() {
+		jobs = append(jobs, campaign.Job{Kernel: hpcc.DGEMM, MemoryMB: dgemm, Scheme: s})
+	}
+
+	// Read-ahead baseline sweep on RandomAccess.
+	ra := scaled(513, m.cfg.Scale)
+	for _, bl := range []float64{-1, 0.2, core.DefaultBaselineScore, 0.9} {
+		cfg := core.DefaultConfig()
+		cfg.BaselineScore = bl
+		jobs = append(jobs, campaign.Job{Kernel: hpcc.RandomAccess, MemoryMB: ra, Scheme: migrate.AMPoM, AMPoM: cfg})
+	}
+
+	// Window-length sweep on DGEMM.
+	for _, l := range []int{5, 10, 20, 40, 80} {
+		cfg := core.DefaultConfig()
+		cfg.WindowLen = l
+		jobs = append(jobs, campaign.Job{Kernel: hpcc.DGEMM, MemoryMB: dgemm, Scheme: migrate.AMPoM, AMPoM: cfg})
+	}
+
+	// Stride and cap sweeps on STREAM.
+	stream := scaled(575, m.cfg.Scale)
+	for _, d := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.DMax = d
+		jobs = append(jobs, campaign.Job{Kernel: hpcc.STREAM, MemoryMB: stream, Scheme: migrate.AMPoM, AMPoM: cfg})
+	}
+	for _, cap := range []int{8, 32, 128, 512} {
+		cfg := core.DefaultConfig()
+		cfg.MaxPrefetch = cap
+		jobs = append(jobs, campaign.Job{Kernel: hpcc.STREAM, MemoryMB: stream, Scheme: migrate.AMPoM, AMPoM: cfg})
+	}
+
+	return campaign.Dedupe(jobs)
+}
+
+// CampaignJobs enumerates the whole matrix: figures plus ablations.
+func (m *Matrix) CampaignJobs() []campaign.Job {
+	return campaign.Dedupe(append(m.FigureJobs(), m.AblationJobs()...))
+}
+
+// prewarm submits one batch unless an earlier submission already completed
+// cleanly, so repeated calls (e.g. an explicit Prewarm followed by
+// AllFigures) neither re-enqueue the matrix nor replay progress callbacks
+// over pure cache hits.
+func (m *Matrix) prewarm(warm *bool, jobs func() []campaign.Job) error {
+	m.warmMu.Lock()
+	defer m.warmMu.Unlock()
+	if *warm {
+		return nil
+	}
+	if _, err := m.eng.RunAll(jobs()); err != nil {
+		return err
+	}
+	*warm = true
+	return nil
+}
+
+// PrewarmFigures runs every figure experiment across the worker pool,
+// aggregating failures into one error instead of stopping at the first.
+func (m *Matrix) PrewarmFigures() error {
+	return m.prewarm(&m.figuresWarm, m.FigureJobs)
+}
+
+// PrewarmAblations runs every ablation experiment across the worker pool.
+func (m *Matrix) PrewarmAblations() error {
+	return m.prewarm(&m.ablationsWarm, m.AblationJobs)
+}
+
+// Prewarm runs the full campaign matrix across the worker pool.
+func (m *Matrix) Prewarm() error {
+	if err := m.PrewarmFigures(); err != nil {
+		return err
+	}
+	return m.PrewarmAblations()
+}

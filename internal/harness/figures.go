@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"ampom/internal/campaign"
 	"ampom/internal/hpcc"
 	"ampom/internal/migrate"
 	"ampom/internal/netmodel"
@@ -36,7 +37,11 @@ func (m *Matrix) Figure4() *Table {
 	}
 	for _, k := range sortKernels() {
 		e := m.entries(k)[0]
-		w := hpcc.MustBuild(e, m.cfg.Seed)
+		// Measure the exact stream the campaign simulates for this cell:
+		// same entry shape and same derived seed as the engine's build.
+		job := campaign.Job{Kernel: k, MemoryMB: e.MemoryMB}
+		w := hpcc.MustBuild(hpcc.Entry{Kernel: k, ProblemSize: e.MemoryMB, MemoryMB: e.MemoryMB},
+			m.eng.SeedFor(job))
 		s, tmp := hpcc.Locality(w)
 		quad := quadrant(s, tmp)
 		t.Rows = append(t.Rows, []string{
@@ -217,22 +222,9 @@ func (m *Matrix) Figure10() *Table {
 	return t
 }
 
-// runWorkingSet memoises the §5.6 variant runs.
+// runWorkingSet executes one §5.6 variant run through the campaign engine.
 func (m *Matrix) runWorkingSet(alloc, ws int64, scheme migrate.Scheme) *migrate.Result {
-	key := runKey{hpcc.DGEMM, alloc*10000 + ws, scheme, "ws"}
-	if r, ok := m.runs[key]; ok {
-		return r
-	}
-	w, err := hpcc.BuildWorkingSet(alloc, ws, m.cfg.Seed)
-	if err != nil {
-		panic(fmt.Sprintf("harness: working-set workload: %v", err))
-	}
-	r, err := migrate.Run(migrate.RunConfig{Workload: w, Scheme: scheme, Seed: m.cfg.Seed})
-	if err != nil {
-		panic(fmt.Sprintf("harness: working-set run: %v", err))
-	}
-	m.runs[key] = r
-	return r
+	return m.mustRun(campaign.Job{Kernel: hpcc.DGEMM, MemoryMB: ws, AllocMB: alloc, Scheme: scheme})
 }
 
 // Figure11 reproduces the AMPoM analysis overhead: time spent determining
@@ -255,8 +247,14 @@ func (m *Matrix) Figure11() *Table {
 	return t
 }
 
-// AllFigures renders every table and figure in paper order.
+// AllFigures renders every table and figure in paper order. The experiment
+// matrix is prewarmed through the campaign worker pool first, so rendering
+// only reads warm cache; per-job seeds make the output byte-identical for
+// any worker count.
 func (m *Matrix) AllFigures() []*Table {
+	if err := m.PrewarmFigures(); err != nil {
+		panic(err)
+	}
 	return []*Table{
 		m.Table1(), m.Figure4(), m.Figure5(), m.Figure6(), m.Figure7(),
 		m.Figure8(), m.Figure9(), m.Figure10(), m.Figure11(),

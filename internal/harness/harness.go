@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"ampom/internal/campaign"
 	"ampom/internal/hpcc"
 	"ampom/internal/migrate"
 	"ampom/internal/netmodel"
@@ -23,6 +25,13 @@ type Config struct {
 	Scale int64
 	// Seed drives all stochastic components.
 	Seed uint64
+	// Workers bounds the campaign engine's worker pool: 0 means GOMAXPROCS,
+	// 1 runs strictly sequentially. Per-job seeds are derived from the job
+	// key, so every setting renders byte-identical tables.
+	Workers int
+	// Progress, when set, receives a sample after every job of a Prewarm
+	// batch completes.
+	Progress func(campaign.Progress)
 }
 
 // DefaultConfig runs at paper scale.
@@ -38,27 +47,39 @@ func (c Config) normalised() Config {
 	return c
 }
 
-// runKey identifies one memoised run.
-type runKey struct {
-	kernel  hpcc.Kernel
-	mb      int64
-	scheme  migrate.Scheme
-	network string
-}
-
-// Matrix memoises experiment runs for one configuration.
+// Matrix renders the paper's tables and figures from campaign results. All
+// experiment execution — memoisation, worker pool, seed derivation — lives
+// in the campaign engine; the Matrix only enumerates jobs and formats rows.
 type Matrix struct {
-	cfg  Config
-	runs map[runKey]*migrate.Result
+	cfg Config
+	eng *campaign.Engine
+
+	// warmMu guards the prewarm bookkeeping: a batch that completed cleanly
+	// is not re-submitted, so progress callbacks never replay over a
+	// fully-cached matrix.
+	warmMu        sync.Mutex
+	figuresWarm   bool
+	ablationsWarm bool
 }
 
-// NewMatrix returns an empty run cache for cfg.
+// NewMatrix returns a matrix backed by a fresh campaign engine.
 func NewMatrix(cfg Config) *Matrix {
-	return &Matrix{cfg: cfg.normalised(), runs: make(map[runKey]*migrate.Result)}
+	cfg = cfg.normalised()
+	return &Matrix{
+		cfg: cfg,
+		eng: campaign.New(campaign.Options{
+			Workers:    cfg.Workers,
+			BaseSeed:   cfg.Seed,
+			OnProgress: cfg.Progress,
+		}),
+	}
 }
 
 // Config returns the campaign configuration.
 func (m *Matrix) Config() Config { return m.cfg }
+
+// Engine exposes the backing campaign engine (progress hooks, statistics).
+func (m *Matrix) Engine() *campaign.Engine { return m.eng }
 
 // entries returns the scaled Table 1 rows of one kernel.
 func (m *Matrix) entries(k hpcc.Kernel) []hpcc.Entry {
@@ -70,26 +91,19 @@ func (m *Matrix) entries(k hpcc.Kernel) []hpcc.Entry {
 	return out
 }
 
-// run executes (and memoises) one experiment.
+// run executes (and memoises, via the campaign engine) one experiment.
 func (m *Matrix) run(k hpcc.Kernel, mb int64, scheme migrate.Scheme, net netmodel.Profile) *migrate.Result {
-	key := runKey{k, mb, scheme, net.Name}
-	if r, ok := m.runs[key]; ok {
-		return r
-	}
-	w, err := hpcc.Build(hpcc.Entry{Kernel: k, ProblemSize: mb, MemoryMB: mb}, m.cfg.Seed)
+	return m.mustRun(campaign.Job{Kernel: k, MemoryMB: mb, Scheme: scheme, Network: net})
+}
+
+// mustRun executes one campaign job, panicking on failure — the rendering
+// paths have no way to represent a missing cell. Batch execution with error
+// aggregation is Prewarm.
+func (m *Matrix) mustRun(job campaign.Job) *migrate.Result {
+	r, err := m.eng.Run(job)
 	if err != nil {
-		panic(fmt.Sprintf("harness: building %v/%dMB: %v", k, mb, err))
+		panic(fmt.Sprintf("harness: %v", err))
 	}
-	r, err := migrate.Run(migrate.RunConfig{
-		Workload: w,
-		Scheme:   scheme,
-		Network:  net,
-		Seed:     m.cfg.Seed,
-	})
-	if err != nil {
-		panic(fmt.Sprintf("harness: running %v/%dMB/%v: %v", k, mb, scheme, err))
-	}
-	m.runs[key] = r
 	return r
 }
 
