@@ -1,12 +1,13 @@
 # Developer/CI entry points. `make ci` is the gate: formatting, vet, build,
-# the full test suite, and the race detector over the concurrent campaign
-# engine.
+# the full test suite, the race detector over the concurrent campaign
+# engine, the binary smoke tests, and a short fuzz pass over the AMPoM
+# prefetcher and the trace combinators.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench bench-campaign
+.PHONY: ci fmt-check vet build test race examples-smoke fuzz-smoke bench bench-campaign bench-scenario
 
-ci: fmt-check vet build test race
+ci: fmt-check vet build test race examples-smoke fuzz-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -26,10 +27,27 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Every binary under cmd/ and examples/ is built and run with a tiny
+# configuration through its package's smoke tests.
+examples-smoke:
+	$(GO) test -count=1 ./cmd/... ./examples/...
+
+# Short fuzz passes over the AMPoM per-fault analysis and the trace
+# combinator algebra (the full corpora live in the build cache; run with a
+# longer -fuzztime to dig).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzPrefetcherFault -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzCompose -fuzztime 10s ./internal/trace
+
 # BenchmarkCampaign compares a sequential full-matrix campaign against the
 # worker pool (byte-identical output either way).
 bench-campaign:
 	$(GO) test -run '^$$' -bench BenchmarkCampaign -benchtime 2x .
+
+# BenchmarkScenario runs the 64-node / 256-process preset end to end, so
+# the perf trajectory captures cluster-scale numbers.
+bench-scenario:
+	$(GO) test -run '^$$' -bench '^BenchmarkScenario$$' -benchtime 2x .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -27,6 +27,7 @@ import (
 	"ampom/internal/memory"
 	"ampom/internal/migrate"
 	"ampom/internal/netmodel"
+	"ampom/internal/scenario"
 	"ampom/internal/sched"
 	"ampom/internal/simtime"
 )
@@ -209,6 +210,76 @@ func SimulateBalancing(cfg BalanceConfig, p BalancePolicy) BalanceStats {
 
 // CompareBalancing runs all three balancing policies on the same workload.
 func CompareBalancing(cfg BalanceConfig) [3]BalanceStats { return sched.Compare(cfg) }
+
+// Cluster-scenario aliases: declarative multi-node runs composing the event
+// engine, cluster nodes, infod dissemination, the load balancer and the
+// AMPoM prefetcher.
+type (
+	// ScenarioSpec declares one cluster scenario (nodes, heterogeneity,
+	// arrivals, trace mixes, network tier, churn).
+	ScenarioSpec = scenario.Spec
+	// ScenarioReport is the cluster-level outcome under every policy.
+	ScenarioReport = scenario.Report
+	// ScenarioSchemeStats is one policy's row of a scenario report.
+	ScenarioSchemeStats = scenario.SchemeStats
+	// ScenarioMix names a per-process page-reference shape.
+	ScenarioMix = scenario.MixKind
+	// ScenarioMixWeight weights one mix inside a scenario workload.
+	ScenarioMixWeight = scenario.MixWeight
+	// ScenarioChurn is one scripted mid-run disturbance.
+	ScenarioChurn = scenario.ChurnEvent
+	// ScenarioJob wraps a scenario as a campaign job (fingerprinted,
+	// single-flight, parallel-safe) for CampaignEngine.RunScenario(s).
+	ScenarioJob = campaign.ScenarioJob
+)
+
+// The scenario reference mixes.
+const (
+	MixSequential = scenario.MixSequential
+	MixBlocked    = scenario.MixBlocked
+	MixRandom     = scenario.MixRandom
+	MixSmallWS    = scenario.MixSmallWS
+)
+
+// ScenarioPresetNames lists the built-in scenarios of cmd/ampom-cluster.
+func ScenarioPresetNames() []string { return scenario.PresetNames() }
+
+// ScenarioPreset returns a named built-in scenario.
+func ScenarioPreset(name string) (ScenarioSpec, error) { return scenario.Preset(name) }
+
+// ScenarioPresets returns every built-in scenario.
+func ScenarioPresets() []ScenarioSpec { return scenario.Presets() }
+
+// RunScenario executes one cluster scenario under every balancing policy.
+// It is a pure function of (spec, seed): equal inputs render byte-identical
+// reports.
+func RunScenario(spec ScenarioSpec, seed uint64) (*ScenarioReport, error) {
+	return scenario.Run(spec, seed)
+}
+
+// LiveProgramFor drains the scenario mix's page-reference trace into a live
+// emulation program over the given footprint: the simulated scenarios and
+// the real-TCP livecluster example replay one access shape. The trace spans
+// the whole footprint (the mix's working-set fraction is a simulation-side
+// concern): a live program must eventually touch every page so the final
+// memory-checksum comparison against a never-migrated run is meaningful.
+func LiveProgramFor(mix ScenarioMix, pages, passes int, seed uint64) []LiveOp {
+	if passes < 1 {
+		passes = 1
+	}
+	var ops []LiveOp
+	for pass := 0; pass < passes; pass++ {
+		src := mix.CoverTrace(int64(pages), seed+uint64(pass))()
+		for {
+			ref, ok := src.Next()
+			if !ok {
+				break
+			}
+			ops = append(ops, LiveOp{Page: int(ref.Page), Write: pass == 0, Val: byte(int(ref.Page) + pass)})
+		}
+	}
+	return ops
+}
 
 // Live emulation aliases: real TCP nodes moving real byte pages.
 type (

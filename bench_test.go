@@ -276,3 +276,45 @@ func BenchmarkCampaign(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScenario runs the 64-node / 256-process preset through the
+// cluster scenario engine end to end (all three balancing policies, star
+// interconnect, infod daemons, prefetch census), so the perf trajectory
+// captures cluster-scale numbers alongside the single-migration campaign.
+func BenchmarkScenario(b *testing.B) {
+	spec, err := ScenarioPreset("hpc-farm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenario(spec, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Baseline().Makespan == 0 {
+			b.Fatal("degenerate scenario run")
+		}
+		if i == b.N-1 {
+			am, _ := rep.Scheme(BalanceAMPoM)
+			b.ReportMetric(float64(am.Migrations), "migrations")
+			b.ReportMetric(am.MeanSlowdown, "slowdown")
+			b.ReportMetric(float64(am.Events), "events")
+		}
+	}
+}
+
+// BenchmarkScenarioPresets fans every preset across the campaign worker
+// pool — the ampom-cluster -scenario all path.
+func BenchmarkScenarioPresets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := NewCampaignEngine(CampaignOptions{BaseSeed: 42})
+		jobs := make([]ScenarioJob, 0, 4)
+		for _, spec := range ScenarioPresets() {
+			jobs = append(jobs, ScenarioJob{Spec: spec})
+		}
+		if _, err := eng.RunScenarios(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
@@ -66,8 +67,7 @@ func main() {
 	order := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	name := strings.ToLower(*figure)
 	if _, ok := selected[name]; name != "all" && !ok {
-		fmt.Fprintf(os.Stderr, "ampom-bench: unknown figure %q (want all, table1, fig4..fig11)\n", *figure)
-		os.Exit(2)
+		cli.Usage("unknown figure %q (want all, table1, fig4..fig11)", *figure)
 	}
 
 	// Fan the requested matrix out up front: every failure is reported, not
@@ -75,7 +75,7 @@ func main() {
 	// prewarm just their own cells, so -j and -progress apply there too. A
 	// partial failure does not abort the run: the healthy artefacts still
 	// render below, and the exit code reports the damage.
-	exitCode := 0
+	exitCode := cli.CodeOK
 	var err error
 	switch {
 	case name == "all" && *ablations:
@@ -89,8 +89,8 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ampom-bench: %v\n", err)
-		exitCode = 1
+		cli.Errorf("%v", err)
+		exitCode = cli.CodeFail
 	}
 
 	// render generates one artefact, skipping (not aborting) those whose
@@ -99,8 +99,8 @@ func main() {
 	render := func(artefact string, gen func() *ampom.FigureTable) {
 		defer func() {
 			if r := recover(); r != nil {
-				fmt.Fprintf(os.Stderr, "ampom-bench: skipping %s: %v\n", artefact, r)
-				exitCode = 1
+				cli.Errorf("skipping %s: %v", artefact, r)
+				exitCode = cli.CodeFail
 			}
 		}()
 		tables = append(tables, gen())
@@ -138,5 +138,5 @@ func main() {
 			fmt.Print(t.Render())
 		}
 	}
-	os.Exit(exitCode)
+	cli.Exit(exitCode)
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/cli"
+	"ampom/internal/clitest"
+)
+
+func TestSmokeList(t *testing.T) {
+	out := clitest.Run(t, "-list")
+	for _, want := range []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("preset %q missing from -list:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeShrunkPreset(t *testing.T) {
+	out := clitest.Run(t, "-scenario", "web-churn", "-nodes", "4", "-procs", "8", "-seed", "1")
+	for _, want := range []string{"scenario web-churn", "no-migration", "openMosix", "AMPoM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeDeterministic(t *testing.T) {
+	args := []string{"-scenario", "mpi-ranks", "-nodes", "4", "-procs", "8", "-seed", "3"}
+	a := clitest.Run(t, args...)
+	b := clitest.Run(t, append([]string{}, args...)...)
+	if a != b {
+		t.Fatalf("same seed printed different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSmokeUnknownScenarioIsUsageError(t *testing.T) {
+	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-scenario", "bogus")
+	if !strings.Contains(stderr, "unknown preset") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}

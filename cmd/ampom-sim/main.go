@@ -18,10 +18,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
@@ -89,21 +89,22 @@ func main() {
 		batch[i] = j
 	}
 	// A partial failure still prints every healthy scheme's row; the
-	// aggregated failures go to stderr and the exit code reports them.
+	// aggregated failures go to stderr and the exit code reports them (the
+	// ampom-bench convention: 1 for failed runs, 2 only for usage errors).
 	results, err := eng.RunAll(batch)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ampom-sim: %v\n", err)
+		cli.Errorf("%v", err)
 	}
 	if len(results) == 1 {
 		if results[0] == nil {
-			os.Exit(2)
+			cli.Exit(cli.CodeFail)
 		}
 		printResult(results[0])
 		return
 	}
 	printComparison(results)
 	if err != nil {
-		os.Exit(2)
+		cli.Exit(cli.CodeFail)
 	}
 }
 
@@ -164,6 +165,5 @@ func printComparison(results []*ampom.Result) {
 }
 
 func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "ampom-sim: "+format+"\n", args...)
-	os.Exit(2)
+	cli.Usage(format, args...)
 }

@@ -12,10 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
@@ -36,15 +36,13 @@ func main() {
 	case "fft":
 		k = ampom.FFT
 	default:
-		fmt.Fprintf(os.Stderr, "ampom-trace: unknown kernel %q\n", *kernel)
-		os.Exit(2)
+		cli.Usage("unknown kernel %q", *kernel)
 	}
 
+	// Build/run failures are runtime failures (exit 1), not usage errors —
+	// the ampom-bench convention.
 	w, err := ampom.BuildWorkload(ampom.Entry{Kernel: k, ProblemSize: *mb, MemoryMB: *mb}, *seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ampom-trace: %v\n", err)
-		os.Exit(2)
-	}
+	cli.Check(err)
 
 	spatial, temporal := ampom.Locality(w)
 	fmt.Printf("workload        %s\n", w.Name)
@@ -56,10 +54,7 @@ func main() {
 	// Dry-run the AMPoM window over the first distinct page touches, the
 	// stream the prefetcher would see if every first touch faulted.
 	pre, err := ampom.NewPrefetcher(ampom.DefaultPrefetcherConfig(), w.Layout.Pages())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ampom-trace: %v\n", err)
-		os.Exit(2)
-	}
+	cli.Check(err)
 	est := ampom.Estimates{RTT: 20_000_000, PageTransfer: 400_000} // 20 ms / 0.4 ms
 	src := w.Source()
 	seen := map[ampom.PageNum]bool{}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/cli"
+	"ampom/internal/clitest"
+)
+
+func TestSmokeTraceStream(t *testing.T) {
+	out := clitest.Run(t, "-kernel", "STREAM", "-mb", "8", "-windows", "2")
+	for _, want := range []string{"spatial score", "temporal score", "AMPoM dry run"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeUnknownKernelIsUsageError(t *testing.T) {
+	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-kernel", "bogus")
+	if !strings.Contains(stderr, "unknown kernel") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}

@@ -9,29 +9,28 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
 	scale := flag.Int64("scale", 8, "divide paper footprints by this")
 	flag.Parse()
+	if *scale < 1 {
+		cli.Usage("-scale must be >= 1, have %d", *scale)
+	}
 
 	fmt.Printf("%-14s %6s | %9s %9s %9s | %9s %8s | %10s\n",
 		"kernel", "MB", "om total", "np total", "am total", "np faults", "am reqs", "prevention")
 	for _, k := range ampom.Kernels() {
 		entry := ampom.ScaleEntry(largest(k), *scale)
 		w, err := ampom.BuildWorkload(entry, 42)
-		if err != nil {
-			log.Fatal(err)
-		}
+		cli.Check(err)
 		var om, np, am *ampom.Result
 		for _, s := range []ampom.Scheme{ampom.SchemeOpenMosix, ampom.SchemeNoPrefetch, ampom.SchemeAMPoM} {
 			r, err := ampom.Run(ampom.RunConfig{Workload: w, Scheme: s, Seed: 42})
-			if err != nil {
-				log.Fatal(err)
-			}
+			cli.Check(err)
 			switch s {
 			case ampom.SchemeOpenMosix:
 				om = r

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/clitest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := clitest.Run(t, "-scale", "64")
+	for _, want := range []string{"DGEMM", "STREAM", "RandomAccess", "FFT", "prevention"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,60 +1,81 @@
 // livecluster migrates a real process between two real TCP endpoints on
-// this machine: the process's memory is actual 4 KiB byte pages, the freeze
-// ships the PCB plus the three currently accessed pages, and the migrant
-// remote-pages the rest from its origin — with AMPoM prefetching driven by
-// the measured loopback round-trip time. The final memory checksum is
-// compared against a never-migrated run.
+// this machine, with its workload drawn from the cluster scenario engine:
+// the process replays a scenario mix's page-reference trace over actual
+// 4 KiB byte pages, the freeze ships the PCB plus the three currently
+// accessed pages, and the migrant remote-pages the rest from its origin —
+// with AMPoM prefetching driven by the measured loopback round-trip time.
+// The final memory checksum is compared against a never-migrated run.
 //
 //	go run ./examples/livecluster
+//	go run ./examples/livecluster -mix blocked -pages 512
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
-	const pages = 2048 // 8 MiB of real memory
-	program := ampom.SequentialLiveProgram(pages, 2)
+	pages := flag.Int("pages", 2048, "process footprint in 4 KiB pages")
+	passes := flag.Int("passes", 2, "how many passes over the footprint")
+	mixName := flag.String("mix", "sequential", "scenario mix to replay: sequential, blocked, random, small-ws")
+	flag.Parse()
+	if *pages < 8 || *passes < 1 {
+		cli.Usage("need -pages >= 8 and -passes >= 1")
+	}
+
+	var mix ampom.ScenarioMix
+	switch *mixName {
+	case "sequential":
+		mix = ampom.MixSequential
+	case "blocked":
+		mix = ampom.MixBlocked
+	case "random":
+		mix = ampom.MixRandom
+	case "small-ws", "smallws":
+		mix = ampom.MixSmallWS
+	default:
+		cli.Usage("unknown mix %q", *mixName)
+	}
+
+	// The program is the same page-reference shape the scenario engine
+	// simulates for this mix — the live run is one scenario process made
+	// flesh.
+	program := ampom.LiveProgramFor(mix, *pages, *passes, 7)
+	fmt.Printf("replaying the %v scenario mix: %d refs over %d pages (%d MiB)\n",
+		mix, len(program), *pages, *pages*4096>>20)
 
 	// Baseline: the same program without migration.
 	solo, err := ampom.ListenLiveNode("solo", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
+	cli.Check(err)
 	defer solo.Close()
-	baseline := ampom.SpawnLiveProc(solo, 1, pages, program, 7).RunLocal()
+	baseline := ampom.SpawnLiveProc(solo, 1, *pages, program, 7).RunLocal()
 
 	// Two live nodes on the loopback.
 	origin, err := ampom.ListenLiveNode("origin", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
+	cli.Check(err)
 	defer origin.Close()
 	dest, err := ampom.ListenLiveNode("dest", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
+	cli.Check(err)
 	defer dest.Close()
 	fmt.Printf("origin node %s, destination node %s\n", origin.Addr(), dest.Addr())
 
-	proc := ampom.SpawnLiveProc(origin, 1, pages, program, 7)
-	proc.Step(pages / 2) // run half a pass at the origin first
+	proc := ampom.SpawnLiveProc(origin, 1, *pages, program, 7)
+	proc.Step(len(program) / (2 * *passes)) // run half a pass at the origin first
 
-	fmt.Printf("migrating pid 1 (%d pages = %d MiB) mid-execution...\n", pages, pages*4096>>20)
+	fmt.Printf("migrating pid 1 mid-execution...\n")
 	sum, err := ampom.MigrateLive(proc, dest.Addr(), ampom.LiveMigrateOptions{Prefetch: true})
-	if err != nil {
-		log.Fatal(err)
-	}
+	cli.Check(err)
 
 	migrant := dest.Proc(1)
 	st := migrant.Stats
 	fmt.Printf("\nmigrant finished. memory checksum %016x\n", sum)
 	fmt.Printf("baseline (never migrated)        %016x\n", baseline)
 	if sum != baseline {
-		log.Fatal("MEMORY CORRUPTED BY MIGRATION")
+		cli.Fail("MEMORY CORRUPTED BY MIGRATION")
 	}
 	fmt.Println("memory preserved bit-for-bit ✓")
 	fmt.Printf("\nfault requests  %d\n", st.FaultRequests)

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/clitest"
+)
+
+func TestSmokeLiveMigration(t *testing.T) {
+	out := clitest.Run(t, "-pages", "64")
+	if !strings.Contains(out, "memory preserved bit-for-bit") {
+		t.Fatalf("live migration did not verify memory:\n%s", out)
+	}
+	if !strings.Contains(out, "prefetched") {
+		t.Fatalf("no prefetch stats:\n%s", out)
+	}
+}
+
+func TestSmokeRandomMix(t *testing.T) {
+	out := clitest.Run(t, "-pages", "64", "-mix", "random")
+	if !strings.Contains(out, "memory preserved bit-for-bit") {
+		t.Fatalf("random-mix migration did not verify memory:\n%s", out)
+	}
+}

@@ -1,35 +1,58 @@
-// loadbalance demonstrates the paper's §7 outlook: a burst of jobs lands on
-// one node of an 8-node cluster, and a load balancer migrates them away
-// under three cost models. Because AMPoM's freeze is orders of magnitude
-// cheaper, the same cost-benefit rule fires more often — the "more
-// aggressive migrations" the paper predicts — and both makespan and mean
-// slowdown improve.
+// loadbalance demonstrates the paper's §7 outlook on the cluster scenario
+// engine: a skewed burst of jobs lands on an 8-node cluster, and the
+// periodic load balancer migrates them away under three cost models,
+// end to end through the event engine, the star interconnect with oM_infoD
+// monitoring, and the AMPoM prefetcher census. Because AMPoM's freeze is
+// orders of magnitude cheaper, the same cost-benefit rule fires more often —
+// the "more aggressive migrations" the paper predicts — and both makespan
+// and mean slowdown improve.
 //
 //	go run ./examples/loadbalance
+//	go run ./examples/loadbalance -scenario hpc-farm   # the 64-node preset
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
-	cfg := ampom.BalanceConfig{
-		Nodes:           8,
-		Jobs:            64,
-		MeanFootprintMB: 192,
-		WorkingSetFrac:  0.25, // interactive/data-intensive mix (§5.6)
+	preset := flag.String("scenario", "", "run a named preset instead of the demo cluster")
+	seed := flag.Uint64("seed", 42, "scenario seed")
+	flag.Parse()
+
+	var spec ampom.ScenarioSpec
+	if *preset != "" {
+		var err error
+		spec, err = ampom.ScenarioPreset(*preset)
+		if err != nil {
+			cli.Usage("%v", err)
+		}
+	} else {
+		// The classic demo: 64 jobs land mostly on node 0 of an 8-node
+		// cluster; the balancer runs at 1 Hz.
+		spec = ampom.ScenarioSpec{
+			Name:            "loadbalance-demo",
+			Nodes:           8,
+			Procs:           64,
+			Skew:            0.8,
+			MeanFootprintMB: 96,
+			Mix: []ampom.ScenarioMixWeight{
+				{Kind: ampom.MixSequential, Weight: 2},
+				{Kind: ampom.MixSmallWS, Weight: 1}, // interactive/data-intensive mix (§5.6)
+			},
+		}.Canonical()
 	}
-	fmt.Println("64 jobs land on node 0 of an 8-node cluster; balancer runs at 1 Hz.")
-	fmt.Println()
-	fmt.Printf("%-14s %10s %10s %12s %12s\n",
-		"policy", "makespan", "slowdown", "migrations", "frozen total")
-	for _, st := range ampom.CompareBalancing(cfg) {
-		fmt.Printf("%-14v %9.1fs %10.2f %12d %11.1fs\n",
-			st.Policy, st.Makespan.Seconds(), st.MeanSlowdown,
-			st.Migrations, st.FrozenTotal.Seconds())
-	}
+
+	rep, err := ampom.RunScenario(spec, *seed)
+	cli.Check(err)
+
+	fmt.Printf("%d jobs land on a %d-node cluster; balancer runs every %v.\n\n",
+		rep.Procs, spec.Nodes, spec.BalancePeriod)
+	fmt.Print(rep.Render())
 	fmt.Println()
 	fmt.Println("openMosix's full-copy freeze makes each migration expensive, so the")
 	fmt.Println("balancer holds back; AMPoM's lightweight freeze lets the same rule")

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/cli"
+	"ampom/internal/clitest"
+)
+
+func TestSmokeDemoScenario(t *testing.T) {
+	out := clitest.Run(t)
+	for _, want := range []string{"loadbalance-demo", "no-migration", "openMosix", "AMPoM", "migrations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmokeUnknownPresetIsUsageError(t *testing.T) {
+	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-scenario", "bogus")
+	if !strings.Contains(stderr, "unknown preset") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}

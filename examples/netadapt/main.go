@@ -7,27 +7,32 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
+	scale := flag.Int64("scale", 1, "divide the example footprints by this")
+	flag.Parse()
+	if *scale < 1 {
+		cli.Usage("-scale must be >= 1, have %d", *scale)
+	}
+
 	configs := []struct {
 		kernel ampom.Kernel
 		mb     int64
 	}{
-		{ampom.DGEMM, 57},        // ~115/2 MB
-		{ampom.RandomAccess, 64}, // ~129/2 MB
+		{ampom.DGEMM, max(57 / *scale, 2)},        // ~115/2 MB
+		{ampom.RandomAccess, max(64 / *scale, 2)}, // ~129/2 MB
 	}
 	networks := []ampom.NetworkProfile{ampom.FastEthernet(), ampom.Broadband()}
 
 	for _, c := range configs {
 		w, err := ampom.BuildWorkload(ampom.Entry{Kernel: c.kernel, ProblemSize: c.mb, MemoryMB: c.mb}, 42)
-		if err != nil {
-			log.Fatal(err)
-		}
+		cli.Check(err)
 		fmt.Printf("%s (%d MB):\n", c.kernel, c.mb)
 		for _, net := range networks {
 			om := must(ampom.Run(ampom.RunConfig{Workload: w, Scheme: ampom.SchemeOpenMosix, Network: net, Seed: 42}))
@@ -47,8 +52,6 @@ func main() {
 }
 
 func must(r *ampom.Result, err error) *ampom.Result {
-	if err != nil {
-		log.Fatal(err)
-	}
+	cli.Check(err)
 	return r
 }

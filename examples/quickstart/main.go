@@ -5,22 +5,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
-	// A 64 MB STREAM-like process (scaled-down Table 1 entry).
+	mb := flag.Int64("mb", 64, "process footprint in MB")
+	flag.Parse()
+
+	// A STREAM-like process (scaled-down Table 1 entry).
 	w, err := ampom.BuildWorkload(ampom.Entry{
 		Kernel:      ampom.STREAM,
-		ProblemSize: 64,
-		MemoryMB:    64,
+		ProblemSize: *mb,
+		MemoryMB:    *mb,
 	}, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
+	cli.Check(err)
 	fmt.Printf("migrating %s: %d pages, %v of compute\n\n",
 		w.Name, w.Layout.Pages(), w.BaseCompute)
 
@@ -28,9 +30,7 @@ func main() {
 		"scheme", "freeze", "total", "fault reqs", "prefetched")
 	for _, s := range []ampom.Scheme{ampom.SchemeOpenMosix, ampom.SchemeNoPrefetch, ampom.SchemeAMPoM} {
 		r, err := ampom.Run(ampom.RunConfig{Workload: w, Scheme: s, Seed: 1})
-		if err != nil {
-			log.Fatal(err)
-		}
+		cli.Check(err)
 		fmt.Printf("%-12v %10v %10v %12d %14d\n",
 			r.Scheme, r.Freeze, r.Total, r.HardFaults, r.PrefetchPages)
 	}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/clitest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := clitest.Run(t, "-mb", "8")
+	for _, want := range []string{"migrating", "openMosix", "NoPrefetch", "AMPoM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,32 +8,31 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"log"
 
 	"ampom"
+	"ampom/internal/cli"
 )
 
 func main() {
-	const allocMB = 144 // the process footprint (¼ of the paper's 575 MB)
+	allocMB := flag.Int64("alloc", 144, "process footprint in MB (the paper uses 575)")
+	flag.Parse()
+	if *allocMB < 5 {
+		cli.Usage("-alloc must be >= 5, have %d", *allocMB)
+	}
 	fmt.Printf("DGEMM allocating %d MB, working sets from %d MB to %d MB:\n\n",
-		allocMB, allocMB/5, allocMB)
+		*allocMB, *allocMB/5, *allocMB)
 	fmt.Printf("%6s | %12s %12s | %8s\n", "ws MB", "openMosix", "AMPoM", "ratio")
 
 	for _, frac := range []int64{5, 4, 3, 2, 1} {
-		ws := allocMB / frac
-		w, err := ampom.BuildWorkingSetWorkload(allocMB, ws, 42)
-		if err != nil {
-			log.Fatal(err)
-		}
+		ws := *allocMB / frac
+		w, err := ampom.BuildWorkingSetWorkload(*allocMB, ws, 42)
+		cli.Check(err)
 		om, err := ampom.Run(ampom.RunConfig{Workload: w, Scheme: ampom.SchemeOpenMosix, Seed: 42})
-		if err != nil {
-			log.Fatal(err)
-		}
+		cli.Check(err)
 		am, err := ampom.Run(ampom.RunConfig{Workload: w, Scheme: ampom.SchemeAMPoM, Seed: 42})
-		if err != nil {
-			log.Fatal(err)
-		}
+		cli.Check(err)
 		fmt.Printf("%6d | %11.2fs %11.2fs | %8.2f\n",
 			ws, om.Total.Seconds(), am.Total.Seconds(),
 			am.Total.Seconds()/om.Total.Seconds())

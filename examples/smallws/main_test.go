@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/clitest"
+)
+
+func TestSmoke(t *testing.T) {
+	out := clitest.Run(t, "-alloc", "20")
+	if !strings.Contains(out, "DGEMM allocating 20 MB") || !strings.Contains(out, "ws MB") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 8 {
+		t.Fatalf("expected five sweep rows:\n%s", out)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ampom/internal/hpcc"
 	"ampom/internal/migrate"
 	"ampom/internal/netmodel"
+	"ampom/internal/scenario"
 )
 
 // Job identifies one cell of an experiment campaign. The zero values of
@@ -172,22 +173,14 @@ type Engine struct {
 	opts    Options
 	workers int
 
-	mu    sync.Mutex
-	cells map[string]*cell
+	runs      flight[*migrate.Result]
+	scenarios flight[*scenario.Report]
 
 	statMu   sync.Mutex
 	executed int
 	requests int
 
 	now func() time.Time // test hook
-}
-
-// cell is one single-flight cache slot: the first requester computes, every
-// later requester blocks on done and shares the outcome.
-type cell struct {
-	done chan struct{}
-	res  *migrate.Result
-	err  error
 }
 
 // New returns an engine for the given options.
@@ -202,9 +195,56 @@ func New(opts Options) *Engine {
 	return &Engine{
 		opts:    opts,
 		workers: w,
-		cells:   make(map[string]*cell),
 		now:     time.Now,
 	}
+}
+
+// flight is a fingerprint-keyed single-flight cache: the first requester of
+// a key computes, every later requester blocks on the cell and shares the
+// outcome. Both the migration-experiment cache and the scenario cache are
+// instances, so the concurrency discipline lives in one place.
+type flight[T any] struct {
+	mu    sync.Mutex
+	cells map[string]*fcell[T]
+}
+
+// fcell is one single-flight slot.
+type fcell[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// do returns the memoised outcome for key, running compute exactly once
+// across concurrent callers. executed reports whether this call did the
+// computing. If compute panics, the cell is poisoned with poison(recovered)
+// — so the key fails fast forever after — and the panic re-raised.
+func (f *flight[T]) do(key string, poison func(r any) error, compute func() (T, error)) (val T, err error, executed bool) {
+	f.mu.Lock()
+	if f.cells == nil {
+		f.cells = make(map[string]*fcell[T])
+	}
+	c, ok := f.cells[key]
+	if ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err, false
+	}
+	c = &fcell[T]{done: make(chan struct{})}
+	f.cells[key] = c
+	f.mu.Unlock()
+
+	// Always release waiters, even if compute panics underneath us and a
+	// caller up the stack recovers.
+	defer close(c.done)
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = poison(r)
+			panic(r)
+		}
+	}()
+	c.val, c.err = compute()
+	return c.val, c.err, true
 }
 
 // Workers returns the pool bound.
@@ -243,34 +283,15 @@ func (e *Engine) Run(job Job) (*migrate.Result, error) {
 	e.requests++
 	e.statMu.Unlock()
 
-	fp := job.Fingerprint()
-	e.mu.Lock()
-	c, ok := e.cells[fp]
-	if ok {
-		e.mu.Unlock()
-		<-c.done
-		return c.res, c.err
+	res, err, executed := e.runs.do(job.Fingerprint(),
+		func(r any) error { return fmt.Errorf("campaign: %v: panic during simulation: %v", job, r) },
+		func() (*migrate.Result, error) { return e.execute(job.normalised()) })
+	if executed {
+		e.statMu.Lock()
+		e.executed++
+		e.statMu.Unlock()
 	}
-	c = &cell{done: make(chan struct{})}
-	e.cells[fp] = c
-	e.mu.Unlock()
-
-	// Always release waiters, even if the simulator panics underneath us
-	// and a caller up the stack recovers: the panic is recorded as the
-	// cell's error (so the poisoned cell fails fast forever after) and
-	// then re-raised.
-	defer close(c.done)
-	defer func() {
-		if r := recover(); r != nil {
-			c.err = fmt.Errorf("campaign: %v: panic during simulation: %v", job, r)
-			panic(r)
-		}
-	}()
-	c.res, c.err = e.execute(job.normalised())
-	e.statMu.Lock()
-	e.executed++
-	e.statMu.Unlock()
-	return c.res, c.err
+	return res, err
 }
 
 // execute simulates one job with its derived seed.
@@ -301,6 +322,35 @@ func (e *Engine) execute(j Job) (*migrate.Result, error) {
 		return nil, fmt.Errorf("campaign: running %v: %w", j, err)
 	}
 	return r, nil
+}
+
+// fanOut distributes n indexed tasks across the engine's worker pool and
+// waits for all of them. Both job batches (RunAll) and scenario batches
+// (RunScenarios) go through here, so they share one pool bound.
+func (e *Engine) fanOut(n int, run func(i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // JobError ties a failed job to its error.
@@ -375,30 +425,10 @@ func (e *Engine) RunAll(jobs []Job) ([]*migrate.Result, error) {
 		progMu.Unlock()
 	}
 
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	workers := e.workers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i], errs[i] = e.Run(jobs[i])
-				report(i)
-			}
-		}()
-	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	e.fanOut(len(jobs), func(i int) {
+		results[i], errs[i] = e.Run(jobs[i])
+		report(i)
+	})
 
 	var failures []JobError
 	seen := make(map[string]bool)

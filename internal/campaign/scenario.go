@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ampom/internal/scenario"
+)
+
+// This file makes cluster scenarios first-class campaign jobs: they are
+// fingerprinted from the canonical Spec, executed through the same worker
+// pool as migration experiments, memoised in a concurrency-safe
+// single-flight cache, and seeded purely from (base seed, fingerprint) — so
+// scenario batches inherit the engine's determinism guarantee: any worker
+// count renders byte-identical reports.
+
+// ScenarioJob identifies one cluster-scenario cell of a campaign.
+type ScenarioJob struct {
+	Spec scenario.Spec
+}
+
+// Fingerprint returns the job's canonical cache/seed key, namespaced apart
+// from migration-experiment fingerprints.
+func (j ScenarioJob) Fingerprint() string { return "scenario|" + j.Spec.Fingerprint() }
+
+// String describes the job in progress reports and errors.
+func (j ScenarioJob) String() string { return j.Spec.String() }
+
+// SeedForScenario returns the PRNG seed a scenario job runs with — the same
+// derivation rule migration jobs use, applied to the scenario fingerprint.
+func (e *Engine) SeedForScenario(j ScenarioJob) uint64 {
+	return DeriveSeed(e.opts.BaseSeed, j.Fingerprint())
+}
+
+// RunScenario executes one scenario, memoised: concurrent calls with the
+// same fingerprint run the simulation once and share the report.
+func (e *Engine) RunScenario(job ScenarioJob) (*scenario.Report, error) {
+	e.statMu.Lock()
+	e.requests++
+	e.statMu.Unlock()
+
+	rep, err, executed := e.scenarios.do(job.Fingerprint(),
+		func(r any) error { return fmt.Errorf("campaign: %v: panic during scenario: %v", job, r) },
+		func() (*scenario.Report, error) { return scenario.Run(job.Spec, e.SeedForScenario(job)) })
+	if executed {
+		e.statMu.Lock()
+		e.executed++
+		e.statMu.Unlock()
+	}
+	return rep, err
+}
+
+// ScenarioError ties a failed scenario job to its error.
+type ScenarioError struct {
+	Job ScenarioJob
+	Err error
+}
+
+func (e ScenarioError) Error() string { return fmt.Sprintf("%v: %v", e.Job, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e ScenarioError) Unwrap() error { return e.Err }
+
+// ScenarioRunError aggregates every failure of a scenario batch; healthy
+// jobs still complete and return reports.
+type ScenarioRunError struct {
+	Total    int
+	Failures []ScenarioError
+}
+
+func (e *ScenarioRunError) Error() string {
+	if len(e.Failures) == 0 {
+		return "campaign: no failures"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d/%d scenario(s) failed", len(e.Failures), e.Total)
+	for i, f := range e.Failures {
+		if i == 4 && len(e.Failures) > 5 {
+			fmt.Fprintf(&b, "; … %d more", len(e.Failures)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; %v", f)
+	}
+	return b.String()
+}
+
+// RunScenarios executes a batch of scenarios across the worker pool and
+// returns one report per job, in input order. Failures are aggregated into
+// a *ScenarioRunError (sorted by fingerprint for determinism); the
+// corresponding report slots are nil and every other scenario still runs.
+func (e *Engine) RunScenarios(jobs []ScenarioJob) ([]*scenario.Report, error) {
+	reports := make([]*scenario.Report, len(jobs))
+	errs := make([]error, len(jobs))
+	e.fanOut(len(jobs), func(i int) {
+		reports[i], errs[i] = e.RunScenario(jobs[i])
+	})
+
+	var failures []ScenarioError
+	seen := make(map[string]bool)
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		fp := jobs[i].Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		failures = append(failures, ScenarioError{Job: jobs[i], Err: err})
+	}
+	if len(failures) == 0 {
+		return reports, nil
+	}
+	sort.Slice(failures, func(i, j int) bool {
+		return failures[i].Job.Fingerprint() < failures[j].Job.Fingerprint()
+	})
+	return reports, &ScenarioRunError{Total: len(jobs), Failures: failures}
+}

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ampom/internal/scenario"
+	"ampom/internal/simtime"
+)
+
+func testScenario(name string) ScenarioJob {
+	return ScenarioJob{Spec: scenario.Spec{
+		Name:            name,
+		Nodes:           4,
+		Procs:           8,
+		MeanCompute:     4 * simtime.Second,
+		MeanFootprintMB: 32,
+	}.Canonical()}
+}
+
+func TestScenarioSingleFlight(t *testing.T) {
+	e := New(Options{Workers: 8, BaseSeed: 7})
+	const callers = 16
+	reports := make([]*scenario.Report, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := e.RunScenario(testScenario("sf"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reports[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if e.Executed() != 1 {
+		t.Fatalf("%d callers executed %d simulations, want 1", callers, e.Executed())
+	}
+	for i := 1; i < callers; i++ {
+		if reports[i] != reports[0] {
+			t.Fatal("single-flight callers received different report pointers")
+		}
+	}
+}
+
+func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
+	jobs := []ScenarioJob{testScenario("a"), testScenario("b"), testScenario("c")}
+	render := func(workers int) string {
+		e := New(Options{Workers: workers, BaseSeed: 7})
+		reports, err := e.RunScenarios(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range reports {
+			b.WriteString(r.Render())
+		}
+		return b.String()
+	}
+	if render(1) != render(8) {
+		t.Fatal("scenario batch differs between 1 and 8 workers")
+	}
+}
+
+func TestScenarioSeedDerivation(t *testing.T) {
+	e := New(Options{BaseSeed: 7})
+	j := testScenario("seed")
+	if e.SeedForScenario(j) != DeriveSeed(7, j.Fingerprint()) {
+		t.Fatal("scenario seed not derived from (base, fingerprint)")
+	}
+	r, err := e.RunScenario(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seed != e.SeedForScenario(j) {
+		t.Fatalf("report ran with seed %d, want %d", r.Seed, e.SeedForScenario(j))
+	}
+	// Distinct specs must draw distinct seeds (namespaced fingerprints).
+	if e.SeedForScenario(testScenario("a")) == e.SeedForScenario(testScenario("b")) {
+		t.Fatal("distinct scenarios share a seed")
+	}
+}
+
+func TestScenarioFailureAggregation(t *testing.T) {
+	bad := ScenarioJob{Spec: scenario.Spec{Name: "bad", Nodes: 4, Skew: 3}}
+	e := New(Options{Workers: 4, BaseSeed: 7})
+	reports, err := e.RunScenarios([]ScenarioJob{testScenario("ok"), bad})
+	if err == nil {
+		t.Fatal("invalid scenario did not fail the batch")
+	}
+	re, ok := err.(*ScenarioRunError)
+	if !ok {
+		t.Fatalf("error is %T, want *ScenarioRunError", err)
+	}
+	if len(re.Failures) != 1 || re.Total != 2 {
+		t.Fatalf("got %d/%d failures, want 1/2", len(re.Failures), re.Total)
+	}
+	if reports[0] == nil {
+		t.Fatal("healthy scenario did not complete")
+	}
+	if reports[1] != nil {
+		t.Fatal("failed scenario returned a report")
+	}
+}
+
+func TestScenarioFingerprintNamespaced(t *testing.T) {
+	if !strings.HasPrefix(testScenario("x").Fingerprint(), "scenario|") {
+		t.Fatal("scenario fingerprints must not collide with migration-job fingerprints")
+	}
+}

@@ -1,0 +1,71 @@
+// Package cli centralises the exit-code and error-reporting conventions of
+// the repository's commands and examples, so every binary fails the same
+// way ampom-bench established:
+//
+//	0 — success
+//	1 — runtime or partial failure (a job failed, an artefact was skipped)
+//	2 — usage error (bad flags or arguments)
+//
+// Binaries report errors through Fail/Usage/Check and terminate through
+// Exit, never through bare os.Exit or log.Fatal, which keeps partial-
+// failure exit codes consistent across cmd/ and examples/.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The exit-code convention.
+const (
+	CodeOK    = 0
+	CodeFail  = 1 // runtime or partial failure
+	CodeUsage = 2 // bad flags or arguments
+)
+
+// Test hooks: the exit function and error stream are swappable so the
+// package's behaviour is testable in-process.
+var (
+	osExit           = os.Exit
+	stderr io.Writer = os.Stderr
+)
+
+// prog returns the running binary's name for message prefixes.
+func prog() string {
+	if len(os.Args) == 0 || os.Args[0] == "" {
+		return "ampom"
+	}
+	return filepath.Base(os.Args[0])
+}
+
+// Errorf prints a prefixed message to stderr without exiting — for partial
+// failures that should be reported while the binary keeps going.
+func Errorf(format string, args ...any) {
+	fmt.Fprintf(stderr, "%s: %s\n", prog(), fmt.Sprintf(format, args...))
+}
+
+// Fail reports a runtime failure and exits with CodeFail.
+func Fail(format string, args ...any) {
+	Errorf(format, args...)
+	osExit(CodeFail)
+}
+
+// Usage reports a usage error and exits with CodeUsage.
+func Usage(format string, args ...any) {
+	Errorf(format, args...)
+	osExit(CodeUsage)
+}
+
+// Check is the common guard: a nil error is a no-op, anything else is a
+// runtime failure.
+func Check(err error) {
+	if err != nil {
+		Fail("%v", err)
+	}
+}
+
+// Exit terminates with an explicit code — the tail call of binaries that
+// accumulate partial failures while still rendering healthy output.
+func Exit(code int) { osExit(code) }

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// capture swaps the exit and stderr hooks, runs fn, and returns the exit
+// code (-1 if never called) and everything written to stderr.
+func capture(fn func()) (code int, out string) {
+	var b strings.Builder
+	code = -1
+	osExit = func(c int) { code = c }
+	stderr = &b
+	fn()
+	return code, b.String()
+}
+
+func TestFailUsesCodeFail(t *testing.T) {
+	code, out := capture(func() { Fail("broken %d", 7) })
+	if code != CodeFail {
+		t.Fatalf("Fail exited %d, want %d", code, CodeFail)
+	}
+	if !strings.Contains(out, "broken 7") || !strings.Contains(out, ": ") {
+		t.Fatalf("unexpected message %q", out)
+	}
+}
+
+func TestUsageUsesCodeUsage(t *testing.T) {
+	code, _ := capture(func() { Usage("bad flag") })
+	if code != CodeUsage {
+		t.Fatalf("Usage exited %d, want %d", code, CodeUsage)
+	}
+}
+
+func TestCheckNilIsNoop(t *testing.T) {
+	code, out := capture(func() { Check(nil) })
+	if code != -1 || out != "" {
+		t.Fatalf("Check(nil) exited %d with %q", code, out)
+	}
+}
+
+func TestCheckErrorFails(t *testing.T) {
+	code, out := capture(func() { Check(errors.New("boom")) })
+	if code != CodeFail || !strings.Contains(out, "boom") {
+		t.Fatalf("Check(err) exited %d with %q", code, out)
+	}
+}
+
+func TestErrorfDoesNotExit(t *testing.T) {
+	code, out := capture(func() { Errorf("partial") })
+	if code != -1 {
+		t.Fatalf("Errorf exited %d", code)
+	}
+	if !strings.Contains(out, "partial") {
+		t.Fatalf("unexpected message %q", out)
+	}
+}
+
+func TestExitPassesCodeThrough(t *testing.T) {
+	code, _ := capture(func() { Exit(CodeOK) })
+	if code != CodeOK {
+		t.Fatalf("Exit(0) exited %d", code)
+	}
+}

@@ -1,0 +1,108 @@
+// Package clitest smoke-tests this module's binaries: it builds the
+// command in the calling test's package directory once, runs it with a tiny
+// configuration, and asserts on the exit code and output. Every package
+// under cmd/ and examples/ carries a main_test.go built on these helpers,
+// so `go test ./...` exercises each binary end to end.
+//
+// The binary is executed directly (not via `go run`, which collapses every
+// child failure to exit status 1), so the repository's 0/1/2 exit-code
+// convention is assertable.
+package clitest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// timeout bounds one binary run; smoke configurations are tiny, so a hang
+// is a bug, not slowness.
+const timeout = 2 * time.Minute
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// binary builds the calling package's command once per test process and
+// returns the executable's path. Binaries land under one deterministic
+// per-package path in the system temp dir, overwritten on every run, so
+// repeated test invocations never accumulate litter.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		cwd, err := os.Getwd()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		dir := filepath.Join(os.TempDir(), "ampom-smoke")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, filepath.Base(cwd))
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// run executes the package's binary with args and returns stdout, stderr
+// and the exit code.
+func run(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, binary(t), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if ctx.Err() != nil {
+		t.Fatalf("binary timed out after %v\nstderr:\n%s", timeout, errb.String())
+	}
+	code = 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("running binary: %v\nstderr:\n%s", err, errb.String())
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+// Run executes the package's binary expecting success, and returns stdout.
+func Run(t *testing.T, args ...string) string {
+	t.Helper()
+	stdout, stderr, code := run(t, args...)
+	if code != 0 {
+		t.Fatalf("binary exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	return stdout
+}
+
+// RunExpect executes the package's binary expecting the given exit code,
+// and returns stdout and stderr.
+func RunExpect(t *testing.T, wantCode int, args ...string) (stdout, stderr string) {
+	t.Helper()
+	stdout, stderr, code := run(t, args...)
+	if code != wantCode {
+		t.Fatalf("binary exited %d, want %d\nstdout:\n%s\nstderr:\n%s", code, wantCode, stdout, stderr)
+	}
+	return stdout, stderr
+}

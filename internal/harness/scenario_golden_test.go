@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/scenario"
+)
+
+// These tests extend the campaign determinism guarantee to cluster
+// scenarios: the acceptance-scale preset (64 nodes / 256 processes) and the
+// rest of the preset catalogue render byte-identically whatever the worker
+// count, sequential vs parallel campaign execution included. `make ci` runs
+// this file under the race detector too.
+
+// renderScenarios runs every preset through one matrix and concatenates the
+// rendered reports.
+func renderScenarios(t *testing.T, workers int) string {
+	t.Helper()
+	m := NewMatrix(Config{Scale: 16, Seed: 7, Workers: workers})
+	reports, err := m.RunScenarios(scenario.Presets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range reports {
+		b.WriteString(r.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestScenarioGoldenAcrossWorkers(t *testing.T) {
+	seq := renderScenarios(t, 1)
+	par := renderScenarios(t, 8)
+	if seq != par {
+		t.Fatal("scenario reports differ between sequential and 8-way parallel execution")
+	}
+	rep := renderScenarios(t, 8)
+	if par != rep {
+		t.Fatal("scenario reports differ between repeated parallel runs")
+	}
+}
+
+func TestScenarioGoldenAcceptancePreset(t *testing.T) {
+	// The pinned 64-node / 256-process scenario, twice with the same seed.
+	spec, err := scenario.Preset("hpc-farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Nodes != 64 || spec.Procs != 256 {
+		t.Fatalf("hpc-farm is %dn/%dp, want 64/256", spec.Nodes, spec.Procs)
+	}
+	a, err := NewMatrix(Config{Seed: 7, Workers: 4}).RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMatrix(Config{Seed: 7, Workers: 1}).RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("equal-seed hpc-farm runs rendered different reports")
+	}
+}
+
+func TestScenarioSeedChangesReport(t *testing.T) {
+	spec, err := scenario.Preset("web-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewMatrix(Config{Seed: 7}).RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMatrix(Config{Seed: 8}).RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() == b.Render() {
+		t.Fatal("changing the matrix seed left the scenario report unchanged")
+	}
+}
+
+func TestScenarioMemoisedInMatrix(t *testing.T) {
+	m := NewMatrix(Config{Seed: 7, Workers: 4})
+	spec, err := scenario.Preset("mpi-ranks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunScenario(spec); err != nil {
+		t.Fatal(err)
+	}
+	executed := m.Engine().Executed()
+	tab, err := m.PresetScenarioTable("mpi-ranks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(scenario.Policies()) {
+		t.Fatalf("scenario table has %d rows, want %d", len(tab.Rows), len(scenario.Policies()))
+	}
+	if got := m.Engine().Executed(); got != executed {
+		t.Fatalf("re-rendering a cached scenario executed %d extra simulations", got-executed)
+	}
+}

@@ -85,6 +85,7 @@ type loadUpdate struct {
 type loadAck struct {
 	Seq    uint64
 	SentAt simtime.Time
+	From   *Daemon
 }
 
 // Daemon is one node's monitoring daemon, paired with the peer daemon at
@@ -98,6 +99,7 @@ type Daemon struct {
 
 	ticker *sim.Ticker
 	seq    uint64
+	peer   *Daemon // set by Pair; nil daemons answer any peer
 
 	// RTT estimate state.
 	rttEst   simtime.Duration
@@ -142,6 +144,17 @@ func New(cfg Config, node *cluster.Node, link *netmodel.Link, seed uint64) *Daem
 // SetCPUUtil installs the utilisation probe reported to peers.
 func (d *Daemon) SetCPUUtil(f func() float64) { d.cpuUtil = f }
 
+// Pair binds two daemons as the endpoints of one monitored link: each then
+// handles only traffic originating from the other and leaves everything else
+// to the next handler on its node. Unpaired daemons keep the historical
+// behaviour (answer any daemon traffic), so two-node experiments are
+// unchanged; pairing is what lets a hub node run one daemon per spoke in a
+// star-topology cluster without the daemons stealing each other's acks.
+func Pair(a, b *Daemon) {
+	a.peer = b
+	b.peer = a
+}
+
 // Start begins periodic load updates.
 func (d *Daemon) Start() {
 	if d.ticker != nil {
@@ -182,13 +195,19 @@ func (d *Daemon) handle(payload any) bool {
 		if m.From == d {
 			return false // our own update echoed back — not ours to handle
 		}
+		if d.peer != nil && m.From != d.peer {
+			return false // another spoke's update — its own daemon acks it
+		}
 		// Ack after this side's scheduling delay.
-		ack := loadAck{Seq: m.Seq, SentAt: m.SentAt}
+		ack := loadAck{Seq: m.Seq, SentAt: m.SentAt, From: d}
 		d.eng.Schedule(d.schedDelay(), func() {
 			d.link.Send(d.node.NIC, netmodel.Message{Size: d.cfg.MsgBytes, Payload: ack})
 		})
 		return true
 	case loadAck:
+		if d.peer != nil && m.From != nil && m.From != d.peer {
+			return false
+		}
 		sample := d.eng.Now().Sub(m.SentAt)
 		d.recordRTT(sample)
 		return true

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"ampom/internal/sched"
+	"ampom/internal/simtime"
+)
+
+// SchemeStats summarises one policy's run of a scenario.
+type SchemeStats struct {
+	Policy sched.Policy
+
+	// Makespan is the instant the last process finished (or the horizon if
+	// Unfinished > 0).
+	Makespan simtime.Duration
+	// MeanSlowdown averages (completion − arrival)/demand over processes.
+	MeanSlowdown float64
+	// SlowdownVsBase is MeanSlowdown relative to the no-migration baseline.
+	SlowdownVsBase float64
+
+	// Migrations counts completed balancer moves; FrozenTotal is the time
+	// processes spent frozen or stalled on their working-set stream;
+	// ExtraWork is the AMPoM remote-paging transfer charged after resumes.
+	Migrations  int
+	FrozenTotal simtime.Duration
+	ExtraWork   simtime.Duration
+
+	// HardFaults and PrefetchPages extrapolate the AMPoM prefetcher census
+	// over every migrated working set; MigrationBytes totals freeze-time
+	// payloads plus remote-paged working sets.
+	HardFaults     int64
+	PrefetchPages  int64
+	MigrationBytes int64
+
+	// Unfinished counts processes still running (or unarrived) at the
+	// horizon.
+	Unfinished int
+	// FinalRTT is the mean spoke-daemon RTT estimate at the end of the run.
+	FinalRTT simtime.Duration
+	// Events is the engine's processed-event count.
+	Events uint64
+}
+
+// Report is the cluster-level outcome of one scenario under every policy.
+type Report struct {
+	// Spec is the canonical scenario that ran.
+	Spec Spec
+	// Seed is the scenario seed all streams derived from.
+	Seed uint64
+	// Procs counts every process injected, churn bursts included.
+	Procs int
+	// Schemes holds per-policy statistics in Policies() order; index 0 is
+	// the no-migration baseline.
+	Schemes []SchemeStats
+}
+
+// Render formats the report as an aligned table with a descriptive header.
+// The rendering is a pure function of the report, so equal-seed runs are
+// byte-identical — the property the golden tests lock in.
+func (r *Report) Render() string {
+	var b strings.Builder
+	s := r.Spec
+	fmt.Fprintf(&b, "scenario %s: %d nodes, %d procs", s.Name, s.Nodes, r.Procs)
+	if burst := r.Procs - s.Procs; burst > 0 {
+		fmt.Fprintf(&b, " (%d in bursts)", burst)
+	}
+	fmt.Fprintf(&b, ", %s/%s arrivals, net %s, seed %d\n", s.Arrival, s.Placement, s.Network.Name, r.Seed)
+	fmt.Fprintf(&b, "mix:")
+	for _, m := range s.sortedMix() {
+		fmt.Fprintf(&b, " %s:%d", m.Kind, m.Weight)
+	}
+	if len(s.Churn) > 0 {
+		fmt.Fprintf(&b, "; churn:")
+		for _, c := range s.Churn {
+			fmt.Fprintf(&b, " %s@%.0fs", c.Kind, c.At.Seconds())
+		}
+	}
+	b.WriteString("\n")
+
+	header := []string{
+		"policy", "makespan(s)", "slowdown", "xbase", "migrations",
+		"frozen(s)", "faults", "prefetched", "MB moved", "unfinished",
+	}
+	rows := make([][]string, 0, len(r.Schemes))
+	for _, st := range r.Schemes {
+		rows = append(rows, []string{
+			st.Policy.String(),
+			fmt.Sprintf("%.1f", st.Makespan.Seconds()),
+			fmt.Sprintf("%.2f", st.MeanSlowdown),
+			fmt.Sprintf("%.2f", st.SlowdownVsBase),
+			fmt.Sprint(st.Migrations),
+			fmt.Sprintf("%.1f", st.FrozenTotal.Seconds()),
+			fmt.Sprint(st.HardFaults),
+			fmt.Sprint(st.PrefetchPages),
+			fmt.Sprintf("%.1f", float64(st.MigrationBytes)/1e6),
+			fmt.Sprint(st.Unfinished),
+		})
+	}
+
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Baseline returns the no-migration statistics.
+func (r *Report) Baseline() SchemeStats { return r.Schemes[0] }
+
+// Scheme returns the statistics of one policy, or false if the policy was
+// not run.
+func (r *Report) Scheme(p sched.Policy) (SchemeStats, bool) {
+	for _, st := range r.Schemes {
+		if st.Policy == p {
+			return st, true
+		}
+	}
+	return SchemeStats{}, false
+}

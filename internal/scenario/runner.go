@@ -1,0 +1,574 @@
+package scenario
+
+import (
+	"fmt"
+
+	"ampom/internal/cluster"
+	"ampom/internal/core"
+	"ampom/internal/infod"
+	"ampom/internal/memory"
+	"ampom/internal/netmodel"
+	"ampom/internal/prng"
+	"ampom/internal/sched"
+	"ampom/internal/sim"
+	"ampom/internal/simtime"
+)
+
+// Policies lists the balancing policies every scenario is run under, in
+// report order. NoMigration is the baseline the slowdown ratios divide by.
+func Policies() []sched.Policy {
+	return []sched.Policy{sched.NoMigration, sched.OpenMosixCost, sched.AMPoMCost}
+}
+
+// procTemplate is one pre-drawn process. Templates are drawn once per
+// (Spec, seed) and replayed identically under every policy, so cross-policy
+// comparisons hold the workload fixed — the same discipline the campaign
+// engine applies to cross-scheme migration experiments.
+type procTemplate struct {
+	id          int
+	demand      simtime.Duration
+	footprintMB int64
+	mix         MixKind
+	node        int
+	arriveAt    simtime.Time
+	traceSeed   uint64
+}
+
+// buildWorkload draws the node CPU scales and every process (including the
+// churn bursts) from one PRNG stream in a fixed order.
+func buildWorkload(spec Spec, seed uint64) (scales []float64, procs []procTemplate) {
+	rng := prng.New(seed)
+
+	// Node tiers: the slow and fast nodes are scattered deterministically.
+	scales = make([]float64, spec.Nodes)
+	for i := range scales {
+		scales[i] = 1
+	}
+	nSlow := int(spec.SlowFrac * float64(spec.Nodes))
+	nFast := int(spec.FastFrac * float64(spec.Nodes))
+	perm := rng.Perm(spec.Nodes)
+	for i := 0; i < nSlow && i < len(perm); i++ {
+		scales[perm[i]] = spec.SlowScale
+	}
+	for i := 0; i < nFast && nSlow+i < len(perm); i++ {
+		scales[perm[nSlow+i]] = spec.FastScale
+	}
+
+	mix := spec.sortedMix()
+	draw := func(id, node int, at simtime.Time) procTemplate {
+		t := procTemplate{
+			id:          id,
+			demand:      simtime.Duration(float64(spec.MeanCompute) * (0.25 + 1.5*rng.Float64())),
+			footprintMB: spec.MeanFootprintMB/2 + int64(rng.Uint64n(uint64(spec.MeanFootprintMB))),
+			mix:         drawMix(mix, rng),
+			node:        node,
+			arriveAt:    at,
+			traceSeed:   rng.Uint64(),
+		}
+		return t
+	}
+	place := func(i int) int {
+		if spec.Placement == PlaceRoundRobin {
+			return i % spec.Nodes
+		}
+		if rng.Float64() < spec.Skew {
+			return 0
+		}
+		return rng.Intn(spec.Nodes)
+	}
+
+	var at simtime.Time
+	for i := 0; i < spec.Procs; i++ {
+		if spec.Arrival == ArrivalPoisson && i > 0 {
+			at = at.Add(simtime.Duration(rng.ExpFloat64() * float64(spec.MeanInterarrival)))
+		}
+		procs = append(procs, draw(i, place(i), at))
+	}
+	for _, c := range spec.Churn {
+		if c.Kind != ChurnBurst {
+			continue
+		}
+		for i := 0; i < c.Procs; i++ {
+			procs = append(procs, draw(len(procs), c.Node, simtime.Time(c.At)))
+		}
+	}
+	return scales, procs
+}
+
+// proc is one process's live state during a policy run.
+type proc struct {
+	t         procTemplate
+	pcb       *cluster.PCB
+	remaining simtime.Duration
+	node      int
+	arrived   bool
+	frozen    bool
+	done      bool
+
+	freezeStart simtime.Time
+	finishAt    simtime.Time
+	migrations  int
+}
+
+// migMsg is the freeze-time payload of one migration in flight across the
+// star interconnect. The head node relays spoke-to-spoke transfers.
+type migMsg struct {
+	pid   int
+	dest  int
+	bytes int64
+}
+
+// clusterSim is one policy's end-to-end simulation.
+type clusterSim struct {
+	spec   Spec
+	policy sched.Policy
+
+	eng   *sim.Engine
+	nodes []*cluster.Node
+	links []*netmodel.Link // links[i] joins node 0 and node i; links[0] is nil
+	spoke []*infod.Daemon  // spoke[i] lives on node i; spoke[0] is nil
+	head  []*infod.Daemon  // head[i] is node 0's daemon for spoke i
+
+	procs   []*proc
+	doneN   int
+	horizon simtime.Time
+
+	st SchemeStats
+}
+
+// newClusterSim wires the cluster: nodes, star links, paired infod daemons,
+// the migration payload handlers, arrivals, churn and the two tickers.
+func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, policy sched.Policy, seed uint64) *clusterSim {
+	c := &clusterSim{
+		spec:    spec,
+		policy:  policy,
+		eng:     sim.New(),
+		horizon: simtime.Time(spec.MaxSimTime),
+		st:      SchemeStats{Policy: policy},
+	}
+
+	c.nodes = make([]*cluster.Node, spec.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = cluster.NewNode(c.eng, fmt.Sprintf("n%03d", i), scales[i])
+		node := i
+		c.nodes[i].Handle(func(payload any) bool {
+			m, ok := payload.(migMsg)
+			if !ok {
+				return false
+			}
+			c.deliver(node, m)
+			return true
+		})
+	}
+
+	// Star interconnect with a paired daemon on each end of every spoke.
+	// Daemon jitter seeds come from a stream derived from the scenario
+	// seed, so every policy observes identical daemon behaviour.
+	dcfg := infod.Config{UpdatePeriod: 2 * simtime.Second}
+	drng := prng.New(seed ^ 0x6f4d5f696e666f64) // "oM_infod"
+	c.links = make([]*netmodel.Link, spec.Nodes)
+	c.spoke = make([]*infod.Daemon, spec.Nodes)
+	c.head = make([]*infod.Daemon, spec.Nodes)
+	for i := 1; i < spec.Nodes; i++ {
+		c.links[i] = netmodel.NewLink(c.eng, spec.Network, c.nodes[0].NIC, c.nodes[i].NIC)
+		c.links[i].SetBackgroundLoad(spec.BackgroundLoad)
+		c.head[i] = infod.New(dcfg, c.nodes[0], c.links[i], drng.Uint64())
+		c.spoke[i] = infod.New(dcfg, c.nodes[i], c.links[i], drng.Uint64())
+		infod.Pair(c.head[i], c.spoke[i])
+		c.head[i].Start()
+		c.spoke[i].Start()
+	}
+
+	c.procs = make([]*proc, len(tmpl))
+	for i, t := range tmpl {
+		p := &proc{
+			t:         t,
+			pcb:       cluster.NewPCB(t.id, fmt.Sprintf("p%03d", t.id), c.nodes[t.node]),
+			remaining: t.demand,
+			node:      t.node,
+		}
+		c.procs[i] = p
+		c.eng.At(t.arriveAt, func() { p.arrived = true })
+	}
+
+	for _, ev := range spec.Churn {
+		ev := ev
+		switch ev.Kind {
+		case ChurnSlowNode:
+			c.eng.Schedule(ev.At, func() { c.nodes[ev.Node].CPUScale *= ev.Factor })
+		case ChurnNetLoad:
+			c.eng.Schedule(ev.At, func() {
+				for i := 1; i < spec.Nodes; i++ {
+					if ev.Node < 0 || ev.Node == i {
+						c.links[i].SetBackgroundLoad(ev.Factor)
+					}
+				}
+			})
+		case ChurnBurst:
+			// Burst processes were pre-drawn into the templates.
+		}
+	}
+
+	sim.NewTicker(c.eng, spec.Quantum, c.tick)
+	if policy != sched.NoMigration {
+		sim.NewTicker(c.eng, spec.BalancePeriod, c.balance)
+	}
+	return c
+}
+
+// run executes the simulation to completion (or the horizon) and finalises
+// the statistics.
+func (c *clusterSim) run() SchemeStats {
+	end := c.eng.Run(c.horizon)
+	if c.st.Makespan == 0 {
+		c.st.Makespan = simtime.Duration(end)
+	}
+
+	var slow float64
+	for _, p := range c.procs {
+		switch {
+		case p.done:
+			slow += float64(p.finishAt.Sub(p.t.arriveAt)) / float64(p.t.demand)
+		case !p.arrived:
+			c.st.Unfinished++
+			slow += 1
+		default:
+			c.st.Unfinished++
+			slow += float64(end.Sub(p.t.arriveAt)) / float64(p.t.demand)
+		}
+	}
+	c.st.MeanSlowdown = slow / float64(len(c.procs))
+
+	var rtt simtime.Duration
+	for i := 1; i < c.spec.Nodes; i++ {
+		rtt += c.spoke[i].RTT()
+	}
+	c.st.FinalRTT = rtt / simtime.Duration(c.spec.Nodes-1)
+	c.st.Events = c.eng.Processed
+	return c.st
+}
+
+// tick advances one processor-sharing quantum on every node.
+func (c *clusterSim) tick() {
+	counts := make([]int, c.spec.Nodes)
+	for _, p := range c.procs {
+		if p.arrived && !p.done && !p.frozen {
+			counts[p.node]++
+		}
+	}
+	now := c.eng.Now()
+	for _, p := range c.procs {
+		if !p.arrived || p.done || p.frozen {
+			continue
+		}
+		share := simtime.Duration(float64(c.spec.Quantum) * c.nodes[p.node].CPUScale / float64(counts[p.node]))
+		p.remaining -= share
+		if p.remaining <= 0 {
+			p.done = true
+			p.pcb.State = cluster.ProcDone
+			p.finishAt = now.Add(c.spec.Quantum)
+			c.doneN++
+		}
+	}
+	if c.doneN == len(c.procs) {
+		c.st.Makespan = simtime.Duration(now.Add(c.spec.Quantum))
+		c.eng.Stop()
+	}
+}
+
+// loads returns the per-node process counts (frozen migrants count towards
+// their destination, as in the sched study) and the CPU-scaled loads the
+// balancer compares.
+func (c *clusterSim) loads() (counts []int, loads []float64) {
+	counts = make([]int, c.spec.Nodes)
+	for _, p := range c.procs {
+		if p.arrived && !p.done {
+			counts[p.node]++
+		}
+	}
+	loads = make([]float64, c.spec.Nodes)
+	for i, n := range counts {
+		loads[i] = float64(n) / c.nodes[i].CPUScale
+	}
+	return counts, loads
+}
+
+// balance runs one balancing round: up to one migration per node, stopping
+// at the first round where the cost-benefit rule clears nothing.
+func (c *clusterSim) balance() {
+	for i := 0; i < c.spec.Nodes; i++ {
+		if !c.balanceOnce() {
+			return
+		}
+	}
+}
+
+// balanceOnce migrates one process from the most to the least loaded node
+// when the rule justifies it, reporting whether a migration happened.
+func (c *clusterSim) balanceOnce() bool {
+	counts, loads := c.loads()
+	src, dst := 0, 0
+	for n := range loads {
+		if loads[n] > loads[src] {
+			src = n
+		}
+		if loads[n] < loads[dst] {
+			dst = n
+		}
+	}
+	if src == dst || loads[src] <= loads[dst] {
+		return false
+	}
+
+	// Candidate: the runnable process on src with the most remaining work
+	// (its lifetime best justifies the cost, following Harchol-Balter &
+	// Downey).
+	var cand *proc
+	for _, p := range c.procs {
+		if !p.arrived || p.done || p.frozen || p.node != src {
+			continue
+		}
+		if cand == nil || p.remaining > cand.remaining {
+			cand = p
+		}
+	}
+	if cand == nil {
+		return false
+	}
+
+	// Cost-benefit rule, charged with the monitoring daemons' current
+	// bandwidth estimate — a busy interconnect (bulk migrations, background
+	// load) raises the estimated cost and makes the balancer hold back.
+	bw := c.bandwidthEstimate(src, dst)
+	freeze, extra := sched.MigrationCost(c.policy, cand.t.footprintMB, cand.t.mix.WorkingSetFrac(), bw)
+	stay := float64(cand.remaining) * float64(counts[src]) / c.nodes[src].CPUScale
+	move := float64(freeze+extra) + float64(cand.remaining)*float64(counts[dst]+1)/c.nodes[dst].CPUScale
+	if stay < c.spec.CostThreshold*move {
+		return false
+	}
+	c.migrate(cand, src, dst)
+	return true
+}
+
+// migrate freezes cand and ships its freeze-time payload across the star:
+// origin spoke to head, relayed to the destination spoke. The freeze ends
+// when the payload lands (network-paced, competing with daemon traffic and
+// other migrations), plus the destination-side restore costs.
+func (c *clusterSim) migrate(p *proc, src, dst int) {
+	p.frozen = true
+	p.freezeStart = c.eng.Now()
+	p.node = dst
+	p.migrations++
+	p.pcb.State = cluster.ProcFrozen
+	p.pcb.Current = c.nodes[dst]
+	c.st.Migrations++
+
+	bytes := c.freezeBytes(p)
+	c.st.MigrationBytes += bytes
+	m := migMsg{pid: p.t.id, dest: dst, bytes: bytes}
+	msg := netmodel.Message{Size: bytes, Payload: m}
+	if src == 0 {
+		c.links[dst].Send(c.nodes[0].NIC, msg)
+	} else {
+		c.links[src].Send(c.nodes[src].NIC, msg)
+	}
+}
+
+// freezeBytes sizes the freeze-time transfer under the policy.
+func (c *clusterSim) freezeBytes(p *proc) int64 {
+	pages := footprintPages(p.t.footprintMB)
+	switch c.policy {
+	case sched.OpenMosixCost:
+		// Every page plus per-page framing plus the PCB.
+		return pages*(memory.PageSize+64) + cluster.RegisterBytes
+	default:
+		// AMPoM: three pages, the 6 B/page MPT, and the PCB.
+		return 3*memory.PageSize + pages*memory.PTEntrySize + cluster.RegisterBytes
+	}
+}
+
+// deliver consumes a migration payload arriving at node. The head node
+// relays spoke-to-spoke transfers onward; the destination restores the
+// process.
+func (c *clusterSim) deliver(node int, m migMsg) {
+	if node == 0 && m.dest != 0 {
+		c.links[m.dest].Send(c.nodes[0].NIC, netmodel.Message{Size: m.bytes, Payload: m})
+		return
+	}
+	if node != m.dest {
+		panic(fmt.Sprintf("scenario: migration payload for node %d delivered to node %d", m.dest, node))
+	}
+	c.restore(c.procs[m.pid], m.dest)
+}
+
+// restore finishes a migration at the destination: destination-side restore
+// costs, the AMPoM working-set stream (charged as continued unavailability
+// at the daemons' estimated bandwidth), and the prefetch census.
+func (c *clusterSim) restore(p *proc, dst int) {
+	cal := 65 * simtime.Millisecond // openMosix protocol base cost
+	pages := footprintPages(p.t.footprintMB)
+	var extra simtime.Duration
+	if c.policy == sched.AMPoMCost {
+		// MPT install on the destination CPU.
+		cal += c.nodes[dst].Scale(simtime.Duration(pages*3) * simtime.Microsecond)
+		// The working set streams in from the origin while the process
+		// stalls on remote paging; the prefetcher census extrapolates how
+		// many of those first touches fault versus arrive prefetched.
+		src := 0
+		if p.pcb.Home != nil {
+			for i, n := range c.nodes {
+				if n == p.pcb.Home {
+					src = i
+					break
+				}
+			}
+		}
+		wsPages := int64(float64(pages) * p.t.mix.WorkingSetFrac())
+		wsBytes := wsPages * memory.PageSize
+		bw := c.bandwidthEstimate(src, dst)
+		extra = simtime.FromSeconds(float64(wsBytes) / bw)
+		c.st.ExtraWork += extra
+		c.st.MigrationBytes += wsBytes
+
+		hard, pref := c.prefetchCensus(p, c.estimates(src, dst), wsPages)
+		c.st.HardFaults += hard
+		c.st.PrefetchPages += pref
+	}
+	c.eng.Schedule(cal+extra, func() { c.unfreeze(p) })
+}
+
+// unfreeze resumes a restored migrant.
+func (c *clusterSim) unfreeze(p *proc) {
+	p.frozen = false
+	p.pcb.State = cluster.ProcRunning
+	c.st.FrozenTotal += c.eng.Now().Sub(p.freezeStart)
+}
+
+// dryRunCap bounds the prefetcher dry-run per migration; totals are
+// extrapolated from the sampled prefix to the full working set.
+const dryRunCap = 384
+
+// prefetchCensus dry-runs the AMPoM prefetcher over the migrant's
+// first-touch stream with the daemons' current estimates, the way
+// ampom-trace does, and extrapolates hard-fault and prefetched-page totals
+// over the working set.
+func (c *clusterSim) prefetchCensus(p *proc, est core.Estimates, wsPages int64) (hard, prefetched int64) {
+	if wsPages < 1 {
+		return 0, 0
+	}
+	pre := core.MustNew(core.DefaultConfig(), wsPages)
+	src := p.t.mix.Trace(wsPages, p.t.traceSeed)()
+	seen := make([]bool, wsPages)
+	arrived := make([]bool, wsPages)
+	var sampled, sampleHard int64
+	var t simtime.Time
+	for sampled < dryRunCap {
+		ref, ok := src.Next()
+		if !ok {
+			break
+		}
+		if ref.Page < 0 || int64(ref.Page) >= wsPages || seen[ref.Page] {
+			continue
+		}
+		seen[ref.Page] = true
+		sampled++
+		t = t.Add(est.PageTransfer)
+		if arrived[ref.Page] {
+			continue // prevented: the zone fetch beat the touch
+		}
+		sampleHard++
+		t = t.Add(est.RTT)
+		pre.RecordFault(ref.Page, t, 1)
+		a := pre.Analyze(est)
+		n := 0
+		for _, pg := range a.Zone {
+			if pg >= 0 && int64(pg) < wsPages && !arrived[pg] {
+				arrived[pg] = true
+				n++
+			}
+		}
+		pre.NotePrefetched(n)
+	}
+	if sampled == 0 {
+		return 0, 0
+	}
+	hard = int64(float64(sampleHard) / float64(sampled) * float64(wsPages))
+	if hard < 1 {
+		hard = 1
+	}
+	if hard > wsPages {
+		hard = wsPages
+	}
+	return hard, wsPages - hard
+}
+
+// bandwidthEstimate returns the monitoring daemons' view of the available
+// bandwidth on the src→dst path (the tighter spoke wins).
+func (c *clusterSim) bandwidthEstimate(src, dst int) float64 {
+	bw := 0.0
+	for _, n := range []int{src, dst} {
+		if n == 0 {
+			continue
+		}
+		b := c.spoke[n].Bandwidth()
+		if bw == 0 || b < bw {
+			bw = b
+		}
+	}
+	if bw == 0 {
+		bw = c.spec.Network.BandwidthBps
+	}
+	return bw
+}
+
+// estimates assembles the Eq. 3 inputs for a migration path: the spoke
+// RTTs add (two hops through the head), the slower page transfer wins.
+func (c *clusterSim) estimates(src, dst int) core.Estimates {
+	var out core.Estimates
+	for _, n := range []int{src, dst} {
+		if n == 0 {
+			continue
+		}
+		e := c.spoke[n].Estimates()
+		out.RTT += e.RTT
+		if e.PageTransfer > out.PageTransfer {
+			out.PageTransfer = e.PageTransfer
+		}
+	}
+	return out
+}
+
+// Run executes the scenario under every policy from the single seed and
+// assembles the cluster-level report. It is a pure function of its
+// arguments: the same (Spec, seed) always yields an identical Report.
+func Run(spec Spec, seed uint64) (*Report, error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	scales, tmpl := buildWorkload(spec, seed)
+	rep := &Report{Spec: spec, Seed: seed, Procs: len(tmpl)}
+	for _, pol := range Policies() {
+		st := newClusterSim(spec, scales, tmpl, pol, seed).run()
+		rep.Schemes = append(rep.Schemes, st)
+	}
+	base := rep.Schemes[0].MeanSlowdown
+	for i := range rep.Schemes {
+		if base > 0 {
+			rep.Schemes[i].SlowdownVsBase = rep.Schemes[i].MeanSlowdown / base
+		}
+	}
+	return rep, nil
+}
+
+// MustRun is Run for callers with no failure path (benchmarks, examples).
+func MustRun(spec Spec, seed uint64) *Report {
+	r, err := Run(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

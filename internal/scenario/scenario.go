@@ -1,0 +1,581 @@
+// Package scenario is the cluster-scale scenario engine: it composes the
+// discrete-event engine, cluster nodes, the star interconnect, the oM_infoD
+// monitoring daemons, the §7 load balancer and the AMPoM prefetcher into
+// end-to-end multi-node runs. A Spec declares the cluster (node count, CPU
+// heterogeneity, network tier), the workload (process count, arrival model,
+// per-process trace mixes) and mid-run churn (node slowdowns, arrival
+// bursts, background network load); the runner executes the scenario under
+// every balancing policy from a single seed and emits a cluster-level
+// Report — migrations, aggregate slowdown against the no-migration
+// baseline, and fault/prefetch totals per scheme.
+//
+// Determinism is the contract: Run is a pure function of (Spec, seed). Each
+// policy's simulation owns a private engine and PRNG stream, so two runs
+// with the same seed render byte-identical reports whatever worker pool
+// executes them.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ampom/internal/memory"
+	"ampom/internal/netmodel"
+	"ampom/internal/prng"
+	"ampom/internal/simtime"
+	"ampom/internal/trace"
+)
+
+// MixKind names a per-process page-reference shape. The mix decides both
+// the trace the process replays after a migration and the fraction of its
+// footprint it actually touches (the §5.6 working-set effect).
+type MixKind uint8
+
+// The modelled reference mixes.
+const (
+	// MixSequential sweeps the working set in order — DGEMM/STREAM-like,
+	// the best case for stride prefetching.
+	MixSequential MixKind = iota
+	// MixBlocked visits cache-sized blocks in scattered order but pages
+	// within a block sequentially — FFT-transpose-like.
+	MixBlocked
+	// MixRandom touches pages uniformly at random — RandomAccess-like, the
+	// worst case for prefetching.
+	MixRandom
+	// MixSmallWS is an interactive/VM-like process: a large allocation of
+	// which only a small resident set is swept.
+	MixSmallWS
+)
+
+// String names the mix.
+func (k MixKind) String() string {
+	switch k {
+	case MixSequential:
+		return "sequential"
+	case MixBlocked:
+		return "blocked"
+	case MixRandom:
+		return "random"
+	case MixSmallWS:
+		return "small-ws"
+	default:
+		return fmt.Sprintf("MixKind(%d)", uint8(k))
+	}
+}
+
+// WorkingSetFrac is the fraction of the footprint a process of this mix
+// touches after migrating (§5.6 motivates < 1).
+func (k MixKind) WorkingSetFrac() float64 {
+	switch k {
+	case MixSequential:
+		return 0.9
+	case MixBlocked:
+		return 0.7
+	case MixRandom:
+		return 0.5
+	case MixSmallWS:
+		return 0.15
+	default:
+		return 0.5
+	}
+}
+
+// Trace returns the page-reference factory a migrant of this mix replays
+// over a working set of wsPages. The live-cluster example uses the same
+// factory to build real byte-page programs, so the simulated and emulated
+// worlds replay one shape.
+func (k MixKind) Trace(wsPages int64, seed uint64) trace.Factory {
+	if wsPages < 1 {
+		wsPages = 1
+	}
+	switch k {
+	case MixBlocked:
+		return trace.BlockPermuted(0, wsPages, 16, 0, false, seed)
+	case MixRandom:
+		return trace.RandomUniform(0, wsPages, wsPages, 0, false, seed)
+	default: // sequential and small-ws sweep their (differently sized) sets
+		return trace.Sequential(0, wsPages, 0, false)
+	}
+}
+
+// CoverTrace is Trace with a full-coverage guarantee: every page of the
+// span is touched at least once per pass. The random mix becomes a random
+// permutation — the same scattered shape, but total. Live-emulation
+// programs use this so a migrated run's final memory checksum is
+// comparable against a never-migrated baseline.
+func (k MixKind) CoverTrace(pages int64, seed uint64) trace.Factory {
+	if pages < 1 {
+		pages = 1
+	}
+	if k == MixRandom {
+		return trace.Permuted(0, pages, 0, false, seed)
+	}
+	return k.Trace(pages, seed)
+}
+
+// MixWeight is one entry of a scenario's workload mix.
+type MixWeight struct {
+	Kind   MixKind
+	Weight int
+}
+
+// ArrivalModel selects how processes enter the cluster.
+type ArrivalModel uint8
+
+// Arrival models.
+const (
+	// ArrivalBatch drops every process at t = 0 (the classic burst landing
+	// on an entry node).
+	ArrivalBatch ArrivalModel = iota
+	// ArrivalPoisson spaces arrivals by exponentially distributed gaps with
+	// mean MeanInterarrival.
+	ArrivalPoisson
+)
+
+// String names the model.
+func (a ArrivalModel) String() string {
+	switch a {
+	case ArrivalBatch:
+		return "batch"
+	case ArrivalPoisson:
+		return "poisson"
+	default:
+		return fmt.Sprintf("ArrivalModel(%d)", uint8(a))
+	}
+}
+
+// Placement selects where arriving processes land.
+type Placement uint8
+
+// Placements.
+const (
+	// PlaceSkewed lands a process on node 0 with probability Skew, else on
+	// a uniformly random node.
+	PlaceSkewed Placement = iota
+	// PlaceRoundRobin deals processes out rank-style, process i on node
+	// i mod Nodes (the MPI launcher shape).
+	PlaceRoundRobin
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlaceSkewed:
+		return "skewed"
+	case PlaceRoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("Placement(%d)", uint8(p))
+	}
+}
+
+// ChurnKind names a mid-run disturbance.
+type ChurnKind uint8
+
+// Churn kinds.
+const (
+	// ChurnSlowNode multiplies one node's CPU scale by Factor at time At
+	// (thermal throttling, a co-scheduled interactive user).
+	ChurnSlowNode ChurnKind = iota
+	// ChurnBurst injects Procs extra processes on node Node at time At.
+	ChurnBurst
+	// ChurnNetLoad sets the background-load fraction of every spoke link
+	// (Node < 0) or one node's spoke (Node >= 1) to Factor at time At.
+	ChurnNetLoad
+)
+
+// String names the kind.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnSlowNode:
+		return "slow-node"
+	case ChurnBurst:
+		return "burst"
+	case ChurnNetLoad:
+		return "net-load"
+	default:
+		return fmt.Sprintf("ChurnKind(%d)", uint8(k))
+	}
+}
+
+// ChurnEvent is one scheduled disturbance.
+type ChurnEvent struct {
+	At     simtime.Duration
+	Kind   ChurnKind
+	Node   int     // target node (ChurnNetLoad: -1 means every spoke)
+	Factor float64 // ChurnSlowNode: CPU multiplier; ChurnNetLoad: load fraction
+	Procs  int     // ChurnBurst: how many processes arrive
+}
+
+// Spec declares one cluster scenario. Zero fields take defaults; Canonical
+// resolves them, and Fingerprint (the campaign cache/seed key) is computed
+// from the canonical form.
+type Spec struct {
+	// Name labels the scenario in reports and fingerprints.
+	Name string
+	// Nodes is the cluster size. Default 8.
+	Nodes int
+	// Procs is the number of processes injected (before bursts).
+	// Default 4×Nodes.
+	Procs int
+
+	// CPU heterogeneity: SlowFrac of the nodes run at SlowScale and
+	// FastFrac at FastScale relative to the reference CPU; the rest run at
+	// 1.0. Defaults: no heterogeneity (fracs 0), SlowScale 0.5,
+	// FastScale 2.
+	SlowFrac, FastFrac   float64
+	SlowScale, FastScale float64
+
+	// Arrival is the arrival model; MeanInterarrival spaces Poisson
+	// arrivals (default 250 ms).
+	Arrival          ArrivalModel
+	MeanInterarrival simtime.Duration
+	// Placement and Skew drive initial placement. Skew defaults to 0.8;
+	// a negative value means explicitly uniform placement (the legitimate
+	// 0 is not expressible directly because zero means "use the default").
+	Placement Placement
+	Skew      float64
+
+	// MeanCompute is the mean per-process service demand at the reference
+	// CPU (default 10 s). MeanFootprintMB is the mean process footprint
+	// (default 128 MB).
+	MeanCompute     simtime.Duration
+	MeanFootprintMB int64
+	// Mix weights the per-process reference shapes. Default: all
+	// sequential.
+	Mix []MixWeight
+
+	// Network is the spoke-link profile of the star interconnect (zero
+	// value: Fast Ethernet). BackgroundLoad is the initial fraction of
+	// spoke bandwidth consumed by competing traffic.
+	Network        netmodel.Profile
+	BackgroundLoad float64
+
+	// BalancePeriod is the load balancer's decision interval (default 1 s);
+	// CostThreshold its safety factor (default 1.25).
+	BalancePeriod simtime.Duration
+	CostThreshold float64
+
+	// Quantum is the processor-sharing quantum (default 50 ms).
+	Quantum simtime.Duration
+	// MaxSimTime bounds the virtual-time horizon; processes still running
+	// at the horizon are reported as unfinished. Default: generous —
+	// 4 × Procs × MeanCompute + a minute.
+	MaxSimTime simtime.Duration
+
+	// Churn is the scripted disturbance sequence.
+	Churn []ChurnEvent
+}
+
+// Canonical resolves every zero "use the default" field, so two Specs that
+// run identically fingerprint identically. It is a fixed point.
+func (s Spec) Canonical() Spec {
+	if s.Nodes <= 0 {
+		s.Nodes = 8
+	}
+	if s.Procs <= 0 {
+		s.Procs = 4 * s.Nodes
+	}
+	if s.SlowScale == 0 {
+		s.SlowScale = 0.5
+	}
+	if s.FastScale == 0 {
+		s.FastScale = 2
+	}
+	if s.MeanInterarrival == 0 {
+		s.MeanInterarrival = 250 * simtime.Millisecond
+	}
+	if s.Skew == 0 {
+		s.Skew = 0.8
+	}
+	if s.Skew < 0 {
+		s.Skew = -1 // canonical "uniform" sentinel, a fixed point
+	}
+	if s.MeanCompute == 0 {
+		s.MeanCompute = 10 * simtime.Second
+	}
+	if s.MeanFootprintMB == 0 {
+		s.MeanFootprintMB = 128
+	}
+	if len(s.Mix) == 0 {
+		s.Mix = []MixWeight{{Kind: MixSequential, Weight: 1}}
+	}
+	if s.Network.BandwidthBps == 0 {
+		s.Network = netmodel.FastEthernet()
+	}
+	if s.BalancePeriod == 0 {
+		s.BalancePeriod = simtime.Second
+	}
+	if s.CostThreshold == 0 {
+		s.CostThreshold = 1.25
+	}
+	if s.Quantum == 0 {
+		s.Quantum = 50 * simtime.Millisecond
+	}
+	if s.MaxSimTime == 0 {
+		s.MaxSimTime = 4*simtime.Duration(s.Procs)*s.MeanCompute + simtime.Minute
+	}
+	return s
+}
+
+// Validate reports the first structural problem of the canonical spec.
+func (s Spec) Validate() error {
+	s = s.Canonical()
+	if s.Nodes < 2 {
+		return fmt.Errorf("scenario: need at least 2 nodes, have %d", s.Nodes)
+	}
+	if s.SlowFrac < 0 || s.FastFrac < 0 || s.SlowFrac+s.FastFrac > 1 {
+		return fmt.Errorf("scenario: node-tier fractions slow=%g fast=%g out of range", s.SlowFrac, s.FastFrac)
+	}
+	if s.SlowScale <= 0 || s.FastScale <= 0 {
+		return fmt.Errorf("scenario: non-positive CPU scale")
+	}
+	if s.Skew > 1 {
+		return fmt.Errorf("scenario: skew %g above 1", s.Skew)
+	}
+	if s.MeanCompute <= 0 || s.MeanInterarrival <= 0 || s.BalancePeriod <= 0 ||
+		s.Quantum <= 0 || s.MaxSimTime <= 0 {
+		return fmt.Errorf("scenario: non-positive duration (compute %v, interarrival %v, balance %v, quantum %v, horizon %v)",
+			s.MeanCompute, s.MeanInterarrival, s.BalancePeriod, s.Quantum, s.MaxSimTime)
+	}
+	if s.MeanFootprintMB <= 0 {
+		return fmt.Errorf("scenario: non-positive mean footprint %d MB", s.MeanFootprintMB)
+	}
+	if s.CostThreshold <= 0 {
+		return fmt.Errorf("scenario: non-positive cost threshold %g", s.CostThreshold)
+	}
+	if s.BackgroundLoad < 0 || s.BackgroundLoad > 0.95 {
+		return fmt.Errorf("scenario: background load %g out of [0,0.95]", s.BackgroundLoad)
+	}
+	total := 0
+	for _, m := range s.Mix {
+		if m.Weight < 0 {
+			return fmt.Errorf("scenario: negative mix weight for %v", m.Kind)
+		}
+		total += m.Weight
+	}
+	if total == 0 {
+		return fmt.Errorf("scenario: mix weights sum to zero")
+	}
+	for i, c := range s.Churn {
+		if c.At < 0 {
+			return fmt.Errorf("scenario: churn[%d] at negative time", i)
+		}
+		switch c.Kind {
+		case ChurnSlowNode:
+			if c.Node < 0 || c.Node >= s.Nodes {
+				return fmt.Errorf("scenario: churn[%d] slow-node targets node %d of %d", i, c.Node, s.Nodes)
+			}
+			if c.Factor <= 0 {
+				return fmt.Errorf("scenario: churn[%d] slow-node factor %g must be positive", i, c.Factor)
+			}
+		case ChurnBurst:
+			if c.Node < 0 || c.Node >= s.Nodes {
+				return fmt.Errorf("scenario: churn[%d] burst targets node %d of %d", i, c.Node, s.Nodes)
+			}
+			if c.Procs <= 0 {
+				return fmt.Errorf("scenario: churn[%d] burst of %d processes", i, c.Procs)
+			}
+		case ChurnNetLoad:
+			if c.Node == 0 || c.Node >= s.Nodes {
+				return fmt.Errorf("scenario: churn[%d] net-load targets node %d of %d (0 is the hub; use -1 for all spokes)", i, c.Node, s.Nodes)
+			}
+			if c.Factor < 0 || c.Factor > 0.95 {
+				return fmt.Errorf("scenario: churn[%d] net-load %g out of [0,0.95]", i, c.Factor)
+			}
+		default:
+			return fmt.Errorf("scenario: churn[%d] unknown kind %v", i, c.Kind)
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns the canonical cache/seed key: a pure function of
+// every behaviour-bearing field. Two specs with equal fingerprints run the
+// same scenario and share one campaign cache cell.
+func (s Spec) Fingerprint() string {
+	s = s.Canonical()
+	var b strings.Builder
+	fmt.Fprintf(&b, "name=%s|nodes=%d|procs=%d|tiers=%g@%g/%g@%g",
+		s.Name, s.Nodes, s.Procs, s.SlowFrac, s.SlowScale, s.FastFrac, s.FastScale)
+	fmt.Fprintf(&b, "|arrival=%s/%d|place=%s/%g", s.Arrival, int64(s.MeanInterarrival), s.Placement, s.Skew)
+	fmt.Fprintf(&b, "|compute=%d|fp=%d", int64(s.MeanCompute), s.MeanFootprintMB)
+	b.WriteString("|mix=")
+	for i, m := range s.Mix {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%d", m.Kind, m.Weight)
+	}
+	fmt.Fprintf(&b, "|net=%s/%d/%g/%g", s.Network.Name, int64(s.Network.LatencyOneWay), s.Network.BandwidthBps, s.BackgroundLoad)
+	fmt.Fprintf(&b, "|bal=%d/%g|q=%d|horizon=%d", int64(s.BalancePeriod), s.CostThreshold, int64(s.Quantum), int64(s.MaxSimTime))
+	b.WriteString("|churn=")
+	for i, c := range s.Churn {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s@%d:n%d/f%g/p%d", c.Kind, int64(c.At), c.Node, c.Factor, c.Procs)
+	}
+	return b.String()
+}
+
+// String describes the spec in progress reports and errors.
+func (s Spec) String() string {
+	s = s.Canonical()
+	name := s.Name
+	if name == "" {
+		name = "scenario"
+	}
+	return fmt.Sprintf("%s(%dn/%dp)", name, s.Nodes, s.Procs)
+}
+
+// Presets — the named scenarios of cmd/ampom-cluster.
+
+// PresetNames lists the built-in scenarios in presentation order.
+func PresetNames() []string {
+	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks"}
+}
+
+// Preset returns a named built-in scenario. The names model the cluster
+// shapes the related openMosix literature runs: an HPC farm digesting a
+// batch burst, a churning web/interactive mix, a heterogeneous cluster hit
+// by an arrival burst, and a rank-per-CPU MPI launch on a cluster with a
+// few slow nodes.
+func Preset(name string) (Spec, error) {
+	switch strings.ToLower(name) {
+	case "hpc-farm":
+		// The acceptance scenario: 64 nodes, 256 processes, a skewed batch
+		// landing mostly on the entry node — the classic openMosix farm.
+		return Spec{
+			Name:            "hpc-farm",
+			Nodes:           64,
+			Procs:           256,
+			Arrival:         ArrivalBatch,
+			Placement:       PlaceSkewed,
+			Skew:            0.35,
+			MeanCompute:     6 * simtime.Second,
+			MeanFootprintMB: 96,
+			Mix: []MixWeight{
+				{Kind: MixSequential, Weight: 3},
+				{Kind: MixBlocked, Weight: 1},
+			},
+		}.Canonical(), nil
+	case "web-churn":
+		// Interactive/web processes trickling in with small working sets,
+		// disturbed by a slow node, background traffic and a late burst —
+		// on a tc-shaped 50 Mb/s commodity tier rather than the testbed's
+		// Fast Ethernet.
+		return Spec{
+			Name:             "web-churn",
+			Nodes:            16,
+			Procs:            96,
+			Arrival:          ArrivalPoisson,
+			MeanInterarrival: 150 * simtime.Millisecond,
+			Placement:        PlaceSkewed,
+			Skew:             0.6,
+			MeanCompute:      4 * simtime.Second,
+			MeanFootprintMB:  64,
+			Network:          netmodel.Shape(netmodel.FastEthernet(), 50e6, 500*simtime.Microsecond),
+			Mix: []MixWeight{
+				{Kind: MixSmallWS, Weight: 3},
+				{Kind: MixRandom, Weight: 1},
+			},
+			Churn: []ChurnEvent{
+				{At: 10 * simtime.Second, Kind: ChurnSlowNode, Node: 1, Factor: 0.5},
+				{At: 20 * simtime.Second, Kind: ChurnNetLoad, Node: -1, Factor: 0.5},
+				{At: 30 * simtime.Second, Kind: ChurnBurst, Node: 0, Procs: 24},
+			},
+		}.Canonical(), nil
+	case "hetero-burst":
+		// A mixed-generation cluster (a quarter slow, a quarter fast)
+		// absorbing a second burst mid-run.
+		return Spec{
+			Name:            "hetero-burst",
+			Nodes:           32,
+			Procs:           128,
+			SlowFrac:        0.25,
+			FastFrac:        0.25,
+			Arrival:         ArrivalBatch,
+			Placement:       PlaceSkewed,
+			Skew:            0.5,
+			MeanCompute:     6 * simtime.Second,
+			MeanFootprintMB: 128,
+			Mix: []MixWeight{
+				{Kind: MixSequential, Weight: 1},
+				{Kind: MixBlocked, Weight: 1},
+				{Kind: MixRandom, Weight: 1},
+			},
+			Churn: []ChurnEvent{
+				{At: 15 * simtime.Second, Kind: ChurnBurst, Node: 0, Procs: 32},
+			},
+		}.Canonical(), nil
+	case "mpi-ranks":
+		// A rank-per-CPU MPI launch: round-robin placement is balanced by
+		// construction, but slow nodes strand their ranks — migration is
+		// what rescues the stragglers (cf. Open-MPI over MOSIX).
+		return Spec{
+			Name:            "mpi-ranks",
+			Nodes:           24,
+			Procs:           96,
+			SlowFrac:        0.25,
+			SlowScale:       0.5,
+			Arrival:         ArrivalBatch,
+			Placement:       PlaceRoundRobin,
+			MeanCompute:     8 * simtime.Second,
+			MeanFootprintMB: 160,
+			CostThreshold:   1.1,
+			Mix: []MixWeight{
+				{Kind: MixBlocked, Weight: 2},
+				{Kind: MixSequential, Weight: 1},
+			},
+			Churn: []ChurnEvent{
+				{At: 12 * simtime.Second, Kind: ChurnSlowNode, Node: 2, Factor: 0.6},
+			},
+		}.Canonical(), nil
+	default:
+		return Spec{}, fmt.Errorf("scenario: unknown preset %q (want %s)", name, strings.Join(PresetNames(), ", "))
+	}
+}
+
+// Presets returns every built-in scenario.
+func Presets() []Spec {
+	names := PresetNames()
+	out := make([]Spec, len(names))
+	for i, n := range names {
+		out[i], _ = Preset(n)
+	}
+	return out
+}
+
+// sortedMix returns the mix with zero-weight entries dropped, in kind
+// order — the canonical form used when drawing processes.
+func (s Spec) sortedMix() []MixWeight {
+	mix := make([]MixWeight, 0, len(s.Mix))
+	for _, m := range s.Mix {
+		if m.Weight > 0 {
+			mix = append(mix, m)
+		}
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].Kind < mix[j].Kind })
+	return mix
+}
+
+// footprintPages converts a footprint in MB to pages.
+func footprintPages(mb int64) int64 { return mb * 1e6 / memory.PageSize }
+
+// drawMix picks a mix kind by weight.
+func drawMix(mix []MixWeight, rng *prng.Source) MixKind {
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	n := rng.Intn(total)
+	for _, m := range mix {
+		n -= m.Weight
+		if n < 0 {
+			return m.Kind
+		}
+	}
+	return mix[len(mix)-1].Kind
+}

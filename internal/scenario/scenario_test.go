@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"ampom/internal/sched"
+	"ampom/internal/simtime"
+)
+
+// small returns a quick scenario for tests that only need the machinery,
+// not the scale.
+func small() Spec {
+	return Spec{
+		Name:            "small",
+		Nodes:           4,
+		Procs:           12,
+		MeanCompute:     8 * simtime.Second,
+		MeanFootprintMB: 32,
+		Skew:            0.7,
+	}.Canonical()
+}
+
+func TestRunDeterministic(t *testing.T) {
+	spec, err := Preset("hpc-farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MustRun(spec, 7).Render()
+	b := MustRun(spec, 7).Render()
+	if a != b {
+		t.Fatalf("same seed rendered different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSeedChangesReport(t *testing.T) {
+	spec := small()
+	if MustRun(spec, 7).Render() == MustRun(spec, 8).Render() {
+		t.Fatal("changing the seed left the report unchanged")
+	}
+}
+
+func TestPresetsValidAndDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, name := range PresetNames() {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", name, err)
+		}
+		if spec.Canonical().Fingerprint() != spec.Canonical().Canonical().Fingerprint() {
+			t.Fatalf("preset %s: Canonical is not a fixed point", name)
+		}
+		fp := spec.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("presets %s and %s share fingerprint %q", prev, name, fp)
+		}
+		seen[fp] = name
+	}
+	if _, err := Preset("nonsense"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestAcceptancePresetShape(t *testing.T) {
+	// The acceptance scenario is pinned: 64 nodes, 256 processes.
+	spec, err := Preset("hpc-farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Nodes != 64 || spec.Procs != 256 {
+		t.Fatalf("hpc-farm is %d nodes / %d procs, want 64/256", spec.Nodes, spec.Procs)
+	}
+}
+
+func TestFingerprintCanonicalises(t *testing.T) {
+	var zero Spec
+	if zero.Fingerprint() != zero.Canonical().Fingerprint() {
+		t.Fatal("zero spec and its canonical form fingerprint differently")
+	}
+	shrunk := small()
+	shrunk.Procs = 6
+	if shrunk.Fingerprint() == small().Fingerprint() {
+		t.Fatal("changing Procs left the fingerprint unchanged")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Spec{
+		{Nodes: 1},
+		{SlowFrac: 0.7, FastFrac: 0.7},
+		{Skew: 2},
+		{BackgroundLoad: 0.99},
+		{Quantum: -simtime.Millisecond},
+		{MeanCompute: -simtime.Second},
+		{MeanInterarrival: -simtime.Second},
+		{BalancePeriod: -simtime.Second},
+		{MaxSimTime: -simtime.Second},
+		{MeanFootprintMB: -1},
+		{CostThreshold: -2},
+		{Mix: []MixWeight{{Kind: MixRandom, Weight: 0}}},
+		{Churn: []ChurnEvent{{Kind: ChurnSlowNode, Node: 99, Factor: 0.5}}},
+		{Churn: []ChurnEvent{{Kind: ChurnBurst, Node: 0, Procs: 0}}},
+		{Churn: []ChurnEvent{{Kind: ChurnNetLoad, Node: 0, Factor: 0.5}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestMigrationImprovesSkewedBurst(t *testing.T) {
+	rep := MustRun(small(), 42)
+	base := rep.Baseline()
+	am, ok := rep.Scheme(sched.AMPoMCost)
+	if !ok {
+		t.Fatal("no AMPoM row")
+	}
+	om, ok := rep.Scheme(sched.OpenMosixCost)
+	if !ok {
+		t.Fatal("no openMosix row")
+	}
+	if am.Migrations == 0 {
+		t.Fatal("skewed burst triggered no AMPoM migrations")
+	}
+	if am.MeanSlowdown >= base.MeanSlowdown {
+		t.Fatalf("AMPoM slowdown %.2f did not beat no-migration %.2f", am.MeanSlowdown, base.MeanSlowdown)
+	}
+	if am.HardFaults == 0 || am.PrefetchPages == 0 {
+		t.Fatal("AMPoM migrations produced no prefetch census")
+	}
+	if om.HardFaults != 0 || om.PrefetchPages != 0 {
+		t.Fatal("openMosix must not report remote faults")
+	}
+	if base.Migrations != 0 || base.MigrationBytes != 0 {
+		t.Fatal("no-migration baseline moved something")
+	}
+}
+
+func TestBurstChurnAddsProcesses(t *testing.T) {
+	spec := small()
+	spec.Churn = []ChurnEvent{{At: simtime.Second, Kind: ChurnBurst, Node: 1, Procs: 5}}
+	rep := MustRun(spec, 42)
+	if rep.Procs != spec.Procs+5 {
+		t.Fatalf("report has %d procs, want %d", rep.Procs, spec.Procs+5)
+	}
+	if !strings.Contains(rep.Render(), "(5 in bursts)") {
+		t.Fatal("burst not reported in the header")
+	}
+}
+
+func TestChurnChangesOutcome(t *testing.T) {
+	plain := small()
+	churned := small()
+	churned.Churn = []ChurnEvent{{At: simtime.Second, Kind: ChurnSlowNode, Node: 0, Factor: 0.25}}
+	if MustRun(plain, 42).Render() == MustRun(churned, 42).Render() {
+		t.Fatal("slowing the loaded node changed nothing")
+	}
+	if plain.Fingerprint() == churned.Fingerprint() {
+		t.Fatal("churn missing from the fingerprint")
+	}
+}
+
+func TestNegativeSkewMeansUniform(t *testing.T) {
+	spec := small()
+	spec.Procs = 400
+	spec.Skew = -1
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("negative skew rejected: %v", err)
+	}
+	if got := spec.Canonical().Skew; got != -1 {
+		t.Fatalf("canonical skew %g, want the -1 uniform sentinel", got)
+	}
+	if spec.Fingerprint() == small().Fingerprint() {
+		t.Fatal("uniform placement shares a fingerprint with the skewed default")
+	}
+	_, procs := buildWorkload(spec.Canonical(), 42)
+	onZero := 0
+	for _, p := range procs {
+		if p.node == 0 {
+			onZero++
+		}
+	}
+	// Uniform over 4 nodes: ~100 of 400 on node 0, nowhere near the 0.8
+	// default skew's ~320.
+	if onZero > len(procs)/2 {
+		t.Fatalf("%d of %d processes on node 0 — placement still skewed", onZero, len(procs))
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	spec := small()
+	spec.Placement = PlaceRoundRobin
+	_, procs := buildWorkload(spec, 42)
+	for i, p := range procs {
+		if p.node != i%spec.Nodes {
+			t.Fatalf("proc %d placed on node %d, want %d", i, p.node, i%spec.Nodes)
+		}
+	}
+}
+
+func TestWorkloadSharedAcrossPolicies(t *testing.T) {
+	// The templates must come out identically however often they are drawn.
+	spec := small()
+	_, a := buildWorkload(spec, 9)
+	_, b := buildWorkload(spec, 9)
+	if len(a) != len(b) {
+		t.Fatal("template counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("template %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHorizonBoundsRun(t *testing.T) {
+	spec := small()
+	spec.MaxSimTime = 3 * simtime.Second // far too short to finish
+	rep := MustRun(spec, 42)
+	for _, st := range rep.Schemes {
+		if st.Unfinished == 0 {
+			t.Fatalf("%v: horizon of %v finished everything", st.Policy, spec.MaxSimTime)
+		}
+		if st.Makespan > spec.MaxSimTime {
+			t.Fatalf("%v: makespan %v beyond horizon", st.Policy, st.Makespan)
+		}
+	}
+}
+
+func TestHeterogeneousScales(t *testing.T) {
+	spec := small()
+	spec.SlowFrac, spec.FastFrac = 0.25, 0.25
+	scales, _ := buildWorkload(spec, 42)
+	slow, fast, ref := 0, 0, 0
+	for _, s := range scales {
+		switch s {
+		case spec.SlowScale:
+			slow++
+		case spec.FastScale:
+			fast++
+		case 1:
+			ref++
+		default:
+			t.Fatalf("unexpected CPU scale %g", s)
+		}
+	}
+	if slow != 1 || fast != 1 || ref != 2 {
+		t.Fatalf("tier split %d/%d/%d, want 1 slow, 1 fast, 2 reference", slow, fast, ref)
+	}
+}
+
+func TestMixTraceCoversWorkingSet(t *testing.T) {
+	// Sequential and blocked mixes touch every working-set page exactly
+	// once; random stays within bounds.
+	for _, k := range []MixKind{MixSequential, MixBlocked, MixSmallWS, MixRandom} {
+		src := k.Trace(64, 3)()
+		seen := make(map[int64]int)
+		n := 0
+		for {
+			ref, ok := src.Next()
+			if !ok {
+				break
+			}
+			if ref.Page < 0 || ref.Page >= 64 {
+				t.Fatalf("%v: page %d out of the 64-page working set", k, ref.Page)
+			}
+			seen[int64(ref.Page)]++
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("%v: empty trace", k)
+		}
+		if k != MixRandom && len(seen) != 64 {
+			t.Fatalf("%v: touched %d of 64 pages", k, len(seen))
+		}
+	}
+}

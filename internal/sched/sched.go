@@ -225,21 +225,31 @@ func Simulate(cfg Config, policy Policy) Stats {
 
 // migrationCost returns (freeze, extraWork) for moving job j under policy.
 func migrationCost(cfg Config, policy Policy, j *job) (freeze, extra simtime.Duration) {
-	bytes := float64(j.footprint) * 1e6
+	return MigrationCost(policy, j.footprint, cfg.WorkingSetFrac, cfg.BandwidthBps)
+}
+
+// MigrationCost is the balancer's cost model: the freeze duration and the
+// post-resume remote-paging work that migrating a process of footprintMB
+// costs under policy, at bandwidthBps of available interconnect bandwidth,
+// when wsFrac of the footprint is touched after the move. Exported so the
+// cluster scenario engine charges the same cost-benefit rule this package's
+// §7 study uses.
+func MigrationCost(policy Policy, footprintMB int64, wsFrac, bandwidthBps float64) (freeze, extra simtime.Duration) {
+	bytes := float64(footprintMB) * 1e6
 	switch policy {
 	case OpenMosixCost:
 		// All dirty pages move during the freeze.
-		return simtime.FromSeconds(bytes/cfg.BandwidthBps) + 65*simtime.Millisecond, 0
+		return simtime.FromSeconds(bytes/bandwidthBps) + 65*simtime.Millisecond, 0
 	case AMPoMCost:
 		// Three pages + the 6 B/page MPT move at freeze; the working set is
 		// remote-paged during execution (additive, per the Figure 6
 		// finding that prefetching amortises round trips but transfer time
 		// adds to compute).
-		pages := float64(j.footprint) * 1e6 / float64(memory.PageSize)
+		pages := bytes / float64(memory.PageSize)
 		mptBytes := pages * memory.PTEntrySize
-		freeze = simtime.FromSeconds(mptBytes/cfg.BandwidthBps) +
+		freeze = simtime.FromSeconds(mptBytes/bandwidthBps) +
 			simtime.Duration(pages*3)*simtime.Microsecond + 65*simtime.Millisecond
-		extra = simtime.FromSeconds(bytes * cfg.WorkingSetFrac / cfg.BandwidthBps)
+		extra = simtime.FromSeconds(bytes * wsFrac / bandwidthBps)
 		return freeze, extra
 	default:
 		return 0, 0
