@@ -1,13 +1,14 @@
 # Developer/CI entry points. `make ci` is the gate: formatting, vet, build,
 # the full test suite, the race detector over the concurrent campaign
-# engine, the binary smoke tests, and a short fuzz pass over the AMPoM
-# prefetcher and the trace combinators.
+# engine, the binary smoke tests, a short fuzz pass over the AMPoM
+# prefetcher, the trace combinators and the scenario spec codec, and one
+# bench-balance iteration so policy-dispatch overhead is tracked.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race examples-smoke fuzz-smoke bench bench-campaign bench-scenario
+.PHONY: ci fmt-check vet build test race examples-smoke fuzz-smoke bench bench-campaign bench-scenario bench-balance
 
-ci: fmt-check vet build test race examples-smoke fuzz-smoke
+ci: fmt-check vet build test race examples-smoke fuzz-smoke bench-balance
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -32,12 +33,13 @@ race:
 examples-smoke:
 	$(GO) test -count=1 ./cmd/... ./examples/...
 
-# Short fuzz passes over the AMPoM per-fault analysis and the trace
-# combinator algebra (the full corpora live in the build cache; run with a
-# longer -fuzztime to dig).
+# Short fuzz passes over the AMPoM per-fault analysis, the trace
+# combinator algebra and the scenario spec JSON codec (the full corpora
+# live in the build cache; run with a longer -fuzztime to dig).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPrefetcherFault -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzCompose -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzSpecRoundTrip -fuzztime 10s ./internal/scenario
 
 # BenchmarkCampaign compares a sequential full-matrix campaign against the
 # worker pool (byte-identical output either way).
@@ -48,6 +50,12 @@ bench-campaign:
 # the perf trajectory captures cluster-scale numbers.
 bench-scenario:
 	$(GO) test -run '^$$' -bench '^BenchmarkScenario$$' -benchtime 2x .
+
+# BenchmarkPolicySweep runs the 64-node preset under every registered
+# balancer policy, so the dynamic-dispatch overhead of the open policy
+# registry is tracked per PR.
+bench-balance:
+	$(GO) test -run '^$$' -bench '^BenchmarkPolicySweep$$' -benchtime 1x .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

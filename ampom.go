@@ -186,30 +186,94 @@ func NewCampaign(cfg CampaignConfig) *Campaign { return harness.NewMatrix(cfg) }
 // (the Figure 4 axes).
 func Locality(w *Workload) (spatial, temporal float64) { return hpcc.Locality(w) }
 
-// Load-balancing study aliases (the paper's §7 outlook).
+// Load-balancing aliases (the paper's §7 outlook): the v2 surface is the
+// open BalancerPolicy interface plus a sorted, deterministic registry, so
+// new cost models plug in beside the built-in five.
 type (
-	// BalancePolicy selects the migration cost model a load balancer uses.
-	BalancePolicy = sched.Policy
+	// BalancerPolicy decides when and where the load balancer migrates.
+	// Implement it (Name, MigrationCost, ShouldMigrate) and register with
+	// RegisterBalancerPolicy to add a policy to every report.
+	BalancerPolicy = sched.BalancerPolicy
+	// BalancerView is the cluster state a policy decides on.
+	BalancerView = sched.View
+	// BalancerNodeView is one node of a BalancerView.
+	BalancerNodeView = sched.NodeView
+	// BalancerProcView is the migration candidate a policy is asked about.
+	BalancerProcView = sched.ProcView
 	// BalanceConfig describes a load-balancing study.
 	BalanceConfig = sched.Config
 	// BalanceStats summarises a study.
 	BalanceStats = sched.Stats
 )
 
-// Load-balancing policies.
+// The built-in balancer policy names — the registry keys reports are keyed
+// by, in registry-sorted order.
+const (
+	PolicyAMPoM       = sched.NameAMPoM
+	PolicyLoadVector  = sched.NameLoadVector
+	PolicyMemUsher    = sched.NameMemUsher
+	PolicyNoMigration = sched.NameNoMigration
+	PolicyOpenMosix   = sched.NameOpenMosix
+)
+
+// RegisterBalancerPolicy adds a policy to the registry; registered
+// policies appear in default scenario reports and policy sweeps.
+func RegisterBalancerPolicy(p BalancerPolicy) error { return sched.Register(p) }
+
+// BalancerPolicyNames lists every registered policy name, sorted.
+func BalancerPolicyNames() []string { return sched.Names() }
+
+// LookupBalancerPolicy returns the policy registered under name.
+func LookupBalancerPolicy(name string) (BalancerPolicy, bool) { return sched.Lookup(name) }
+
+// BalancerPolicies resolves registry names to policies, preserving order.
+func BalancerPolicies(names ...string) ([]BalancerPolicy, error) { return sched.ByNames(names) }
+
+// SimulateBalancer runs the §7 load-balancing study under one policy.
+func SimulateBalancer(cfg BalanceConfig, pol BalancerPolicy) BalanceStats {
+	return sched.Simulate(cfg, pol)
+}
+
+// CompareBalancers runs each policy on the same workload — every
+// registered policy, in registry-sorted order, when none are given.
+func CompareBalancers(cfg BalanceConfig, pols ...BalancerPolicy) []BalanceStats {
+	return sched.Compare(cfg, pols...)
+}
+
+// BalancePolicy is the closed v1 policy enum.
+//
+// Deprecated: use BalancerPolicy and the registry; convert with Balancer().
+type BalancePolicy = sched.Policy
+
+// The v1 balancing policies.
+//
+// Deprecated: use the registry names (PolicyNoMigration, PolicyOpenMosix,
+// PolicyAMPoM) or sched's policy instances.
 const (
 	BalanceNone      = sched.NoMigration
 	BalanceOpenMosix = sched.OpenMosixCost
 	BalanceAMPoM     = sched.AMPoMCost
 )
 
-// SimulateBalancing runs the §7 load-balancing study under one policy.
+// SimulateBalancing runs the §7 study under one v1 policy.
+//
+// Deprecated: use SimulateBalancer with a BalancerPolicy.
 func SimulateBalancing(cfg BalanceConfig, p BalancePolicy) BalanceStats {
-	return sched.Simulate(cfg, p)
+	return sched.Simulate(cfg, p.Balancer())
 }
 
-// CompareBalancing runs all three balancing policies on the same workload.
-func CompareBalancing(cfg BalanceConfig) [3]BalanceStats { return sched.Compare(cfg) }
+// CompareBalancing runs the three v1 policies on the same workload, in the
+// v1 order (no-migration, openMosix, AMPoM).
+//
+// Deprecated: use CompareBalancers, which is variable-width and covers the
+// whole registry.
+func CompareBalancing(cfg BalanceConfig) [3]BalanceStats {
+	return [3]BalanceStats{
+		sched.Simulate(cfg, sched.NoMigrationPolicy),
+		sched.Simulate(cfg, sched.OpenMosixPolicy),
+		sched.Simulate(cfg, sched.AMPoMPolicy),
+	}
+}
 
 // Cluster-scenario aliases: declarative multi-node runs composing the event
 // engine, cluster nodes, infod dissemination, the load balancer and the
@@ -250,12 +314,39 @@ func ScenarioPreset(name string) (ScenarioSpec, error) { return scenario.Preset(
 // ScenarioPresets returns every built-in scenario.
 func ScenarioPresets() []ScenarioSpec { return scenario.Presets() }
 
-// RunScenario executes one cluster scenario under every balancing policy.
-// It is a pure function of (spec, seed): equal inputs render byte-identical
-// reports.
+// RunScenario executes one cluster scenario under the spec's policy set
+// (every registered balancing policy by default). It is a pure function of
+// (spec, seed): equal inputs render byte-identical reports.
 func RunScenario(spec ScenarioSpec, seed uint64) (*ScenarioReport, error) {
 	return scenario.Run(spec, seed)
 }
+
+// Scenario I/O: specs are versioned JSON documents (unknown fields
+// rejected, omitted fields defaulted) and reports encode to JSON and CSV,
+// so scenarios and their outcomes are shareable on-disk artefacts.
+
+// LoadScenarioSpec reads a spec file written by SaveScenarioSpec (or by
+// hand); the result is canonical and validated.
+func LoadScenarioSpec(path string) (ScenarioSpec, error) { return scenario.LoadSpec(path) }
+
+// SaveScenarioSpec writes the canonical form of the spec as versioned JSON.
+func SaveScenarioSpec(path string, s ScenarioSpec) error { return scenario.SaveSpec(path, s) }
+
+// DecodeScenarioSpec parses a versioned JSON spec document.
+func DecodeScenarioSpec(data []byte) (ScenarioSpec, error) { return scenario.DecodeSpec(data) }
+
+// EncodeScenarioSpec renders the canonical spec as versioned JSON.
+func EncodeScenarioSpec(s ScenarioSpec) ([]byte, error) { return scenario.EncodeSpec(s) }
+
+// ScenarioReportsJSON renders a batch of reports as one JSON array
+// (nil slots from failed runs are skipped).
+func ScenarioReportsJSON(reports []*ScenarioReport) ([]byte, error) {
+	return scenario.ReportsJSON(reports)
+}
+
+// ScenarioReportsCSV renders a batch of reports as one CSV document with a
+// single header; the scenario and seed columns distinguish the runs.
+func ScenarioReportsCSV(reports []*ScenarioReport) string { return scenario.ReportsCSV(reports) }
 
 // LiveProgramFor drains the scenario mix's page-reference trace into a live
 // emulation program over the given footprint: the simulated scenarios and

@@ -141,6 +141,73 @@ func TestFacadeCampaignEngine(t *testing.T) {
 	}
 }
 
+// TestFacadePolicyRegistry drives the v2 balancer surface: the registry
+// lists all five built-ins in sorted order, lookups and sweeps work, and
+// the deprecated v1 shims still answer.
+func TestFacadePolicyRegistry(t *testing.T) {
+	names := BalancerPolicyNames()
+	if len(names) < 5 {
+		t.Fatalf("registry has %d policies, want >= 5: %v", len(names), names)
+	}
+	for _, want := range []string{PolicyAMPoM, PolicyLoadVector, PolicyMemUsher, PolicyNoMigration, PolicyOpenMosix} {
+		if _, ok := LookupBalancerPolicy(want); !ok {
+			t.Fatalf("built-in policy %q missing", want)
+		}
+	}
+	pols, err := BalancerPolicies(PolicyAMPoM, PolicyNoMigration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BalanceConfig{Jobs: 16, Nodes: 4}
+	res := CompareBalancers(cfg, pols...)
+	if len(res) != 2 || res[0].Policy != PolicyAMPoM {
+		t.Fatalf("CompareBalancers rows wrong: %+v", res)
+	}
+	am := SimulateBalancer(cfg, pols[0])
+	if am.Policy != PolicyAMPoM || am.Makespan <= 0 {
+		t.Fatalf("SimulateBalancer degenerate: %+v", am)
+	}
+	// The deprecated v1 shims keep answering in the v1 order.
+	old := CompareBalancing(cfg)
+	if old[0].Policy != PolicyNoMigration || old[2].Policy != PolicyAMPoM {
+		t.Fatalf("v1 CompareBalancing order broken: %+v", old)
+	}
+	if SimulateBalancing(cfg, BalanceAMPoM).Policy != PolicyAMPoM {
+		t.Fatal("v1 SimulateBalancing shim broken")
+	}
+}
+
+// TestFacadeScenarioSpecIO round-trips a spec and a report through the
+// facade's I/O surface.
+func TestFacadeScenarioSpecIO(t *testing.T) {
+	spec := ScenarioSpec{Name: "facade", Nodes: 4, Procs: 8, Policies: []string{PolicyAMPoM}}
+	data, err := EncodeScenarioSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeScenarioSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != spec.Canonical().Fingerprint() {
+		t.Fatal("facade spec round trip changed the fingerprint")
+	}
+	rep, err := RunScenario(back, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Schemes) != 2 { // AMPoM plus the implicit baseline
+		t.Fatalf("report has %d rows, want 2", len(rep.Schemes))
+	}
+	js, err := ScenarioReportsJSON([]*ScenarioReport{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) == 0 || ScenarioReportsCSV([]*ScenarioReport{rep}) == "" {
+		t.Fatal("report encoders returned nothing")
+	}
+}
+
 // TestFacadeCampaignWorkers checks the harness-level Workers plumbing.
 func TestFacadeCampaignWorkers(t *testing.T) {
 	seq := NewCampaign(CampaignConfig{Scale: 16, Seed: 7, Workers: 1}).Table1().Render()

@@ -296,10 +296,44 @@ func BenchmarkScenario(b *testing.B) {
 			b.Fatal("degenerate scenario run")
 		}
 		if i == b.N-1 {
-			am, _ := rep.Scheme(BalanceAMPoM)
+			am, _ := rep.Scheme(PolicyAMPoM)
 			b.ReportMetric(float64(am.Migrations), "migrations")
 			b.ReportMetric(am.MeanSlowdown, "slowdown")
 			b.ReportMetric(float64(am.Events), "events")
+		}
+	}
+}
+
+// BenchmarkPolicySweep runs the 64-node preset under every registered
+// balancer policy (`make bench-balance`), so the overhead of dynamic
+// policy dispatch — the price of the open registry over the old closed
+// enum — is tracked alongside per-policy migration counts.
+func BenchmarkPolicySweep(b *testing.B) {
+	spec, err := ScenarioPreset("hpc-farm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The canonical policy set is the whole registry.
+	names := BalancerPolicyNames()
+	if len(spec.Policies) != len(names) {
+		b.Fatalf("preset runs %d policies, registry has %d", len(spec.Policies), len(names))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenario(spec, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Schemes) != len(names) {
+			b.Fatalf("report has %d rows, want %d", len(rep.Schemes), len(names))
+		}
+		if i == b.N-1 {
+			for _, st := range rep.Schemes {
+				if st.Policy == PolicyNoMigration {
+					continue
+				}
+				b.ReportMetric(float64(st.Migrations), st.Policy+"_migrations")
+			}
 		}
 	}
 }

@@ -28,20 +28,14 @@ import (
 
 func main() {
 	scale := flag.Int64("scale", 1, "divide every Table 1 footprint by this (1 = paper scale)")
-	seed := flag.Uint64("seed", 42, "seed for all stochastic components")
 	figure := flag.String("figure", "all", "which artefact to print: all, table1, fig4..fig11")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies")
-	parallel := flag.Bool("parallel", true, "run the experiment matrix through the worker pool")
-	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS; implies -parallel)")
 	progress := flag.Bool("progress", false, "report campaign progress and ETA on stderr")
+	cf := cli.AddCampaignFlags(flag.CommandLine)
 	flag.Parse()
 
-	workers := *jobs
-	if !*parallel && *jobs == 0 {
-		workers = 1
-	}
-	cfg := ampom.CampaignConfig{Scale: *scale, Seed: *seed, Workers: workers}
+	cfg := ampom.CampaignConfig{Scale: *scale, Seed: cf.Seed, Workers: cf.Workers()}
 	if *progress {
 		cfg.Progress = func(p ampom.CampaignProgress) {
 			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d done (%d failed) elapsed %v eta %v    ",

@@ -1,24 +1,31 @@
 // Command ampom-cluster runs cluster-scale scenarios: declarative
 // multi-node workloads driven end to end through the event engine, the
-// star interconnect with oM_infoD monitoring, the §7 load balancer and the
-// AMPoM prefetcher, under all three balancing policies.
+// star interconnect with oM_infoD monitoring, the pluggable load-balancer
+// policies and the AMPoM prefetcher.
 //
 // Usage:
 //
 //	ampom-cluster                          # the hpc-farm preset (64 nodes / 256 procs)
 //	ampom-cluster -scenario web-churn      # one named preset
 //	ampom-cluster -scenario all -j 4       # every preset across 4 workers
-//	ampom-cluster -list                    # list the presets
+//	ampom-cluster -list                    # list presets and registered policies
 //	ampom-cluster -scenario hpc-farm -nodes 8 -procs 32   # shrink a preset
+//	ampom-cluster -spec farm.json          # run a user-defined spec file
+//	ampom-cluster -policies AMPoM,mem-usher                # restrict the policy set
+//	ampom-cluster -spec farm.json -o report.json           # persist the report
+//	ampom-cluster -scenario web-churn -dump-spec web.json  # write the spec out
 //
 // Scenarios run through the campaign engine: the scenario seed is derived
-// from -seed and the canonical spec fingerprint, so any -j value renders
-// byte-identical reports.
+// from -seed and the canonical spec fingerprint (policy set included), so
+// any -j value renders byte-identical reports, files included.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"ampom"
 	"ampom/internal/cli"
@@ -26,12 +33,22 @@ import (
 
 func main() {
 	name := flag.String("scenario", "hpc-farm", "preset scenario to run, or all")
-	list := flag.Bool("list", false, "list the preset scenarios and exit")
-	seed := flag.Uint64("seed", 42, "campaign base seed")
-	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
+	specFile := flag.String("spec", "", "run the scenario from this JSON spec file (overrides -scenario)")
+	policies := flag.String("policies", "", "comma-separated balancer policies (default: the spec's set, or every registered policy)")
+	output := flag.String("o", "", "also write the report(s) to this file (.json or .csv)")
+	dumpSpec := flag.String("dump-spec", "", "write the resolved spec to this JSON file and exit")
+	list := flag.Bool("list", false, "list the preset scenarios and registered policies, then exit")
 	nodes := flag.Int("nodes", 0, "override the preset's node count")
 	procs := flag.Int("procs", 0, "override the preset's process count")
+	cf := cli.AddCampaignFlags(flag.CommandLine)
 	flag.Parse()
+
+	// A bad -o extension is a pure argument mistake: reject it before any
+	// scenario runs, with the usage exit code.
+	outputExt := strings.ToLower(filepath.Ext(*output))
+	if *output != "" && outputExt != ".json" && outputExt != ".csv" {
+		cli.Usage("-o %s: want a .json or .csv extension", *output)
+	}
 
 	if *list {
 		for _, n := range ampom.ScenarioPresetNames() {
@@ -42,13 +59,21 @@ func main() {
 			fmt.Printf("%-14s %3d nodes  %4d procs  %s/%s arrivals, %d churn event(s)\n",
 				spec.Name, spec.Nodes, spec.Procs, spec.Arrival, spec.Placement, len(spec.Churn))
 		}
+		fmt.Printf("policies: %s\n", strings.Join(ampom.BalancerPolicyNames(), ", "))
 		return
 	}
 
 	var specs []ampom.ScenarioSpec
-	if *name == "all" {
+	switch {
+	case *specFile != "":
+		spec, err := ampom.LoadScenarioSpec(*specFile)
+		if err != nil {
+			cli.Fail("%v", err)
+		}
+		specs = []ampom.ScenarioSpec{spec}
+	case *name == "all":
 		specs = ampom.ScenarioPresets()
-	} else {
+	default:
 		spec, err := ampom.ScenarioPreset(*name)
 		if err != nil {
 			cli.Usage("%v", err)
@@ -63,13 +88,29 @@ func main() {
 		if *procs > 0 {
 			specs[i].Procs = *procs
 		}
+		if *nodes > 0 || *procs > 0 {
+			// Rescale the derived memory capacity with the new population,
+			// matching what a hand-written spec of this size canonicalises to.
+			specs[i].NodeMemMB = 0
+		}
+		if *policies != "" {
+			specs[i].Policies = cli.PolicyList(*policies)
+		}
 		specs[i] = specs[i].Canonical()
 		if err := specs[i].Validate(); err != nil {
 			cli.Usage("%v", err)
 		}
 	}
 
-	eng := ampom.NewCampaignEngine(ampom.CampaignOptions{Workers: *jobs, BaseSeed: *seed})
+	if *dumpSpec != "" {
+		if len(specs) != 1 {
+			cli.Usage("-dump-spec needs exactly one scenario, have %d", len(specs))
+		}
+		cli.Check(ampom.SaveScenarioSpec(*dumpSpec, specs[0]))
+		return
+	}
+
+	eng := ampom.NewCampaignEngine(ampom.CampaignOptions{Workers: cf.Workers(), BaseSeed: cf.Seed})
 	batch := make([]ampom.ScenarioJob, len(specs))
 	for i, s := range specs {
 		batch[i] = ampom.ScenarioJob{Spec: s}
@@ -94,5 +135,46 @@ func main() {
 		fmt.Print(r.Render())
 		printed = true
 	}
+	if *output != "" {
+		if err := writeReports(*output, reports); err != nil {
+			cli.Errorf("%v", err)
+			exitCode = cli.CodeFail
+		}
+	}
 	cli.Exit(exitCode)
+}
+
+// writeReports persists the healthy reports to path; the extension picks
+// the encoding. The JSON shape follows the *requested* batch size — a
+// single-scenario run writes an object, a batch always an array, however
+// many runs failed — so consumers can parse a file without sniffing it.
+// CSV always shares one header.
+func writeReports(path string, reports []*ampom.ScenarioReport) error {
+	healthy := reports[:0:0]
+	for _, r := range reports {
+		if r != nil {
+			healthy = append(healthy, r)
+		}
+	}
+	if len(healthy) == 0 {
+		return fmt.Errorf("-o %s: no healthy reports to write", path)
+	}
+	var (
+		data []byte
+		err  error
+	)
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json":
+		if len(reports) == 1 {
+			data, err = healthy[0].JSON()
+		} else {
+			data, err = ampom.ScenarioReportsJSON(healthy)
+		}
+	default: // the extension was validated at startup
+		data = []byte(ampom.ScenarioReportsCSV(healthy))
+	}
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -1,18 +1,24 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"ampom"
 	"ampom/internal/cli"
 	"ampom/internal/clitest"
 )
 
 func TestSmokeList(t *testing.T) {
 	out := clitest.Run(t, "-list")
-	for _, want := range []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks"} {
+	for _, want := range []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks",
+		"no-migration", "load-vector", "mem-usher"} {
 		if !strings.Contains(out, want) {
-			t.Fatalf("preset %q missing from -list:\n%s", want, out)
+			t.Fatalf("%q missing from -list:\n%s", want, out)
 		}
 	}
 }
@@ -38,6 +44,106 @@ func TestSmokeDeterministic(t *testing.T) {
 func TestSmokeUnknownScenarioIsUsageError(t *testing.T) {
 	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-scenario", "bogus")
 	if !strings.Contains(stderr, "unknown preset") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
+func TestSmokeUnknownPolicyIsUsageError(t *testing.T) {
+	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-scenario", "web-churn", "-policies", "bogus")
+	if !strings.Contains(stderr, "unknown balancer policy") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
+func TestSmokePolicySubset(t *testing.T) {
+	out := clitest.Run(t, "-scenario", "web-churn", "-nodes", "4", "-procs", "8",
+		"-policies", "AMPoM,openMosix", "-seed", "1")
+	// The baseline is always added; the unlisted policies stay out.
+	for _, want := range []string{"no-migration", "openMosix", "AMPoM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	for _, not := range []string{"load-vector", "mem-usher"} {
+		if strings.Contains(out, not) {
+			t.Fatalf("report includes excluded policy %q:\n%s", not, out)
+		}
+	}
+}
+
+// TestSpecReportRoundTrip is the acceptance criterion: a dumped spec
+// reloads to an equal struct, a -spec run lists every registered policy
+// (≥ 5, the two new ones included), and equal (spec, seed) inputs produce
+// byte-identical JSON and CSV at any worker count.
+func TestSpecReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	clitest.Run(t, "-scenario", "web-churn", "-nodes", "4", "-procs", "8", "-dump-spec", specPath)
+
+	spec, err := ampom.LoadScenarioSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ampom.ScenarioPreset("web-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Nodes, want.Procs, want.NodeMemMB = 4, 8, 0
+	want = want.Canonical()
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("saved spec reloads unequal:\nwant %+v\ngot  %+v", want, spec)
+	}
+
+	all := strings.Join(ampom.BalancerPolicyNames(), ",")
+	for _, ext := range []string{".json", ".csv"} {
+		out1 := filepath.Join(dir, "r1"+ext)
+		out8 := filepath.Join(dir, "r8"+ext)
+		clitest.Run(t, "-spec", specPath, "-policies", all, "-seed", "5", "-j", "1", "-o", out1)
+		clitest.Run(t, "-spec", specPath, "-policies", all, "-seed", "5", "-j", "8", "-o", out8)
+		b1, err := os.ReadFile(out1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b8, err := os.ReadFile(out8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b8) {
+			t.Fatalf("%s reports differ between -j 1 and -j 8", ext)
+		}
+	}
+
+	var rep struct {
+		Policies []struct {
+			Policy string `json:"policy"`
+		} `json:"policies"`
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "r1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Policies) < 5 {
+		t.Fatalf("report lists %d policies, want >= 5", len(rep.Policies))
+	}
+	got := map[string]bool{}
+	for _, p := range rep.Policies {
+		got[p.Policy] = true
+	}
+	for _, want := range []string{ampom.PolicyLoadVector, ampom.PolicyMemUsher} {
+		if !got[want] {
+			t.Fatalf("report missing new policy %q (have %v)", want, got)
+		}
+	}
+}
+
+func TestSmokeBadOutputExtensionIsUsageError(t *testing.T) {
+	// Rejected before anything runs: a pure argument mistake must not cost
+	// a full campaign.
+	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-o", "report.xml")
+	if !strings.Contains(stderr, ".json or .csv") {
 		t.Fatalf("unexpected stderr:\n%s", stderr)
 	}
 }

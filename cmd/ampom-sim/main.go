@@ -31,9 +31,7 @@ func main() {
 	scheme := flag.String("scheme", "ampom", "migration scheme: ampom, openmosix, noprefetch, or all")
 	network := flag.String("network", "fast", "network: fast (100Mb/s) or broadband (6Mb/s)")
 	load := flag.Float64("load", 0, "background network load fraction [0,0.95]")
-	seed := flag.Uint64("seed", 42, "campaign base seed")
-	parallel := flag.Bool("parallel", true, "fan -scheme all comparisons across the worker pool")
-	jobs := flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS)")
+	cf := cli.AddCampaignFlags(flag.CommandLine)
 	flag.Parse()
 
 	var k ampom.Kernel
@@ -55,11 +53,7 @@ func main() {
 		net = ampom.Broadband()
 	}
 
-	workers := *jobs
-	if !*parallel && *jobs == 0 {
-		workers = 1
-	}
-	eng := ampom.NewCampaignEngine(ampom.CampaignOptions{Workers: workers, BaseSeed: *seed})
+	eng := ampom.NewCampaignEngine(ampom.CampaignOptions{Workers: cf.Workers(), BaseSeed: cf.Seed})
 
 	job := ampom.CampaignJob{
 		Kernel: k, MemoryMB: *mb, AllocMB: *alloc,

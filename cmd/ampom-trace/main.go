@@ -21,8 +21,8 @@ import (
 func main() {
 	kernel := flag.String("kernel", "STREAM", "HPCC kernel: DGEMM, STREAM, RandomAccess, FFT")
 	mb := flag.Int64("mb", 16, "process footprint in MB")
-	seed := flag.Uint64("seed", 42, "seed")
 	windows := flag.Int("windows", 5, "how many AMPoM dry-run windows to print")
+	seed := cli.AddSeedFlag(flag.CommandLine)
 	flag.Parse()
 
 	var k ampom.Kernel

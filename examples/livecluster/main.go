@@ -8,6 +8,7 @@
 //
 //	go run ./examples/livecluster
 //	go run ./examples/livecluster -mix blocked -pages 512
+//	go run ./examples/livecluster -spec farm.json   # mix from a saved spec
 package main
 
 import (
@@ -22,23 +23,41 @@ func main() {
 	pages := flag.Int("pages", 2048, "process footprint in 4 KiB pages")
 	passes := flag.Int("passes", 2, "how many passes over the footprint")
 	mixName := flag.String("mix", "sequential", "scenario mix to replay: sequential, blocked, random, small-ws")
+	specFile := flag.String("spec", "", "replay the heaviest-weighted mix of this scenario spec file instead of -mix")
 	flag.Parse()
 	if *pages < 8 || *passes < 1 {
 		cli.Usage("need -pages >= 8 and -passes >= 1")
 	}
 
 	var mix ampom.ScenarioMix
-	switch *mixName {
-	case "sequential":
-		mix = ampom.MixSequential
-	case "blocked":
-		mix = ampom.MixBlocked
-	case "random":
-		mix = ampom.MixRandom
-	case "small-ws", "smallws":
-		mix = ampom.MixSmallWS
-	default:
-		cli.Usage("unknown mix %q", *mixName)
+	if *specFile != "" {
+		// One scenario process made flesh: the saved spec's dominant mix is
+		// the trace shape this live run replays over real byte pages.
+		spec, err := ampom.LoadScenarioSpec(*specFile)
+		if err != nil {
+			cli.Fail("%v", err)
+		}
+		best := spec.Mix[0]
+		for _, m := range spec.Mix[1:] {
+			if m.Weight > best.Weight {
+				best = m
+			}
+		}
+		mix = best.Kind
+		fmt.Printf("mix %v drawn from spec %s (scenario %s)\n", mix, *specFile, spec.Name)
+	} else {
+		switch *mixName {
+		case "sequential":
+			mix = ampom.MixSequential
+		case "blocked":
+			mix = ampom.MixBlocked
+		case "random":
+			mix = ampom.MixRandom
+		case "small-ws", "smallws":
+			mix = ampom.MixSmallWS
+		default:
+			cli.Usage("unknown mix %q", *mixName)
+		}
 	}
 
 	// The program is the same page-reference shape the scenario engine

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"ampom"
 	"ampom/internal/clitest"
 )
 
@@ -21,5 +23,24 @@ func TestSmokeRandomMix(t *testing.T) {
 	out := clitest.Run(t, "-pages", "64", "-mix", "random")
 	if !strings.Contains(out, "memory preserved bit-for-bit") {
 		t.Fatalf("random-mix migration did not verify memory:\n%s", out)
+	}
+}
+
+func TestSmokeMixFromSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := ampom.ScenarioSpec{
+		Name:  "live",
+		Nodes: 4,
+		Mix:   []ampom.ScenarioMixWeight{{Kind: ampom.MixBlocked, Weight: 2}, {Kind: ampom.MixRandom, Weight: 1}},
+	}
+	if err := ampom.SaveScenarioSpec(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	out := clitest.Run(t, "-pages", "64", "-spec", path)
+	if !strings.Contains(out, "mix blocked drawn from spec") {
+		t.Fatalf("spec-driven mix not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "memory preserved bit-for-bit") {
+		t.Fatalf("spec-driven migration did not verify memory:\n%s", out)
 	}
 }

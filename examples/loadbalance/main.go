@@ -1,14 +1,18 @@
 // loadbalance demonstrates the paper's §7 outlook on the cluster scenario
 // engine: a skewed burst of jobs lands on an 8-node cluster, and the
-// periodic load balancer migrates them away under three cost models,
-// end to end through the event engine, the star interconnect with oM_infoD
-// monitoring, and the AMPoM prefetcher census. Because AMPoM's freeze is
-// orders of magnitude cheaper, the same cost-benefit rule fires more often —
-// the "more aggressive migrations" the paper predicts — and both makespan
-// and mean slowdown improve.
+// periodic load balancer migrates them away under every registered
+// balancer policy, end to end through the event engine, the star
+// interconnect with oM_infoD monitoring, and the AMPoM prefetcher census.
+// Because AMPoM's freeze is orders of magnitude cheaper, the same
+// cost-benefit rule fires more often — the "more aggressive migrations"
+// the paper predicts — and both makespan and mean slowdown improve; the
+// load-vector and mem-usher rows show the openMosix dissemination and
+// memory-pressure behaviours beside it.
 //
 //	go run ./examples/loadbalance
-//	go run ./examples/loadbalance -scenario hpc-farm   # the 64-node preset
+//	go run ./examples/loadbalance -scenario hpc-farm      # the 64-node preset
+//	go run ./examples/loadbalance -policies AMPoM,openMosix
+//	go run ./examples/loadbalance -spec farm.json         # a saved spec file
 package main
 
 import (
@@ -21,11 +25,19 @@ import (
 
 func main() {
 	preset := flag.String("scenario", "", "run a named preset instead of the demo cluster")
+	specFile := flag.String("spec", "", "run a saved scenario spec file instead of the demo cluster")
+	policies := flag.String("policies", "", "comma-separated balancer policies (default: all registered)")
 	seed := flag.Uint64("seed", 42, "scenario seed")
 	flag.Parse()
 
 	var spec ampom.ScenarioSpec
-	if *preset != "" {
+	if *specFile != "" {
+		var err error
+		spec, err = ampom.LoadScenarioSpec(*specFile)
+		if err != nil {
+			cli.Fail("%v", err)
+		}
+	} else if *preset != "" {
 		var err error
 		spec, err = ampom.ScenarioPreset(*preset)
 		if err != nil {
@@ -45,6 +57,13 @@ func main() {
 				{Kind: ampom.MixSmallWS, Weight: 1}, // interactive/data-intensive mix (§5.6)
 			},
 		}.Canonical()
+	}
+	if *policies != "" {
+		spec.Policies = cli.PolicyList(*policies)
+		spec = spec.Canonical()
+		if err := spec.Validate(); err != nil {
+			cli.Usage("%v", err)
+		}
 	}
 
 	rep, err := ampom.RunScenario(spec, *seed)

@@ -17,6 +17,23 @@ func TestSmokeDemoScenario(t *testing.T) {
 	}
 }
 
+func TestSmokePolicySubset(t *testing.T) {
+	out := clitest.Run(t, "-policies", "AMPoM")
+	if !strings.Contains(out, "AMPoM") || !strings.Contains(out, "no-migration") {
+		t.Fatalf("subset report missing expected rows:\n%s", out)
+	}
+	if strings.Contains(out, "mem-usher") {
+		t.Fatalf("excluded policy leaked into the report:\n%s", out)
+	}
+}
+
+func TestSmokeUnknownPolicyIsUsageError(t *testing.T) {
+	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-policies", "bogus")
+	if !strings.Contains(stderr, "unknown balancer policy") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
 func TestSmokeUnknownPresetIsUsageError(t *testing.T) {
 	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-scenario", "bogus")
 	if !strings.Contains(stderr, "unknown preset") {

@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+)
+
+// This file dedupes the campaign flag plumbing every binary used to repeat:
+// -seed, -j and -parallel are registered once here, and the
+// -parallel=false ⇒ one worker resolution lives in one place instead of
+// being copied into each main.
+
+// CampaignFlags holds the campaign-engine flags the cmd/ binaries share.
+// Read the fields after flag parsing; resolve the pool size with Workers.
+type CampaignFlags struct {
+	// Seed is the campaign base seed every per-job seed derives from.
+	Seed uint64
+	// Jobs is the requested worker pool size (0 = GOMAXPROCS).
+	Jobs int
+	// Parallel fans batches across the worker pool; false forces strictly
+	// sequential runs unless -j overrides it.
+	Parallel bool
+}
+
+// AddCampaignFlags registers -seed, -j and -parallel on fs (the binaries
+// pass flag.CommandLine) and returns the destination struct.
+func AddCampaignFlags(fs *flag.FlagSet) *CampaignFlags {
+	c := &CampaignFlags{}
+	fs.Uint64Var(&c.Seed, "seed", 42, "campaign base seed")
+	fs.IntVar(&c.Jobs, "j", 0, "worker pool size (0 = GOMAXPROCS; implies -parallel)")
+	fs.BoolVar(&c.Parallel, "parallel", true, "fan batches across the worker pool")
+	return c
+}
+
+// Workers resolves the worker-pool bound the campaign engine should use:
+// -j wins when set; -parallel=false forces 1; otherwise 0 (GOMAXPROCS).
+// Per-job seeds are derived from job keys, so every setting renders
+// byte-identical output.
+func (c *CampaignFlags) Workers() int {
+	if !c.Parallel && c.Jobs == 0 {
+		return 1
+	}
+	return c.Jobs
+}
+
+// AddSeedFlag registers just -seed, for binaries without a worker pool.
+func AddSeedFlag(fs *flag.FlagSet) *uint64 {
+	seed := fs.Uint64("seed", 42, "seed for all stochastic components")
+	return seed
+}
+
+// PolicyList parses a -policies flag value: a comma-separated name list,
+// trimmed, empties dropped. "all" (or an empty value) returns nil, which
+// scenario canonicalisation resolves to every registered policy. One
+// parser serves every binary so the flag cannot drift between them.
+func PolicyList(s string) []string {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}

@@ -56,7 +56,7 @@ func scenarioTable(r *scenario.Report) *Table {
 	}
 	for _, st := range r.Schemes {
 		t.Rows = append(t.Rows, []string{
-			st.Policy.String(),
+			st.Policy,
 			fmtSec(st.Makespan.Seconds()),
 			fmt.Sprintf("%.2f", st.MeanSlowdown),
 			fmt.Sprintf("%.2f", st.SlowdownVsBase),

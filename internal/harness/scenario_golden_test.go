@@ -64,6 +64,54 @@ func TestScenarioGoldenAcceptancePreset(t *testing.T) {
 	}
 }
 
+// TestScenarioGoldenFivePolicyIO locks byte-identical rendered, JSON and
+// CSV reports for a five-policy run across 1-way vs 8-way worker pools —
+// the determinism hazard a map-ordered policy iteration would trip.
+func TestScenarioGoldenFivePolicyIO(t *testing.T) {
+	spec := scenario.Spec{
+		Name:  "golden-five",
+		Nodes: 6,
+		Procs: 24,
+		Skew:  0.7,
+	}.Canonical()
+	if len(spec.Policies) < 5 {
+		t.Fatalf("canonical policy set %v has fewer than 5 policies", spec.Policies)
+	}
+	a, err := NewMatrix(Config{Seed: 7, Workers: 1}).RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMatrix(Config{Seed: 7, Workers: 8}).RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("rendered reports differ between -j 1 and -j 8")
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("JSON reports differ between -j 1 and -j 8")
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatal("CSV reports differ between -j 1 and -j 8")
+	}
+	if len(a.Schemes) != len(spec.Policies) {
+		t.Fatalf("report has %d rows for %d policies", len(a.Schemes), len(spec.Policies))
+	}
+	for i, st := range a.Schemes {
+		if st.Policy != spec.Policies[i] {
+			t.Fatalf("row %d is %q, want registry-sorted %q", i, st.Policy, spec.Policies[i])
+		}
+	}
+}
+
 func TestScenarioSeedChangesReport(t *testing.T) {
 	spec, err := scenario.Preset("web-churn")
 	if err != nil {
@@ -96,8 +144,8 @@ func TestScenarioMemoisedInMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != len(scenario.Policies()) {
-		t.Fatalf("scenario table has %d rows, want %d", len(tab.Rows), len(scenario.Policies()))
+	if len(tab.Rows) != len(spec.Policies) {
+		t.Fatalf("scenario table has %d rows, want %d", len(tab.Rows), len(spec.Policies))
 	}
 	if got := m.Engine().Executed(); got != executed {
 		t.Fatalf("re-rendering a cached scenario executed %d extra simulations", got-executed)

@@ -1,0 +1,133 @@
+package scenario
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ampom/internal/sched"
+)
+
+func TestSpecRoundTripPresets(t *testing.T) {
+	for _, spec := range Presets() {
+		enc, err := EncodeSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", spec.Name, err)
+		}
+		dec, err := DecodeSpec(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v\n%s", spec.Name, err, enc)
+		}
+		if !reflect.DeepEqual(dec, spec.Canonical()) {
+			t.Fatalf("%s: round trip changed the spec:\nwant %+v\ngot  %+v", spec.Name, spec.Canonical(), dec)
+		}
+		if dec.Fingerprint() != spec.Fingerprint() {
+			t.Fatalf("%s: round trip changed the fingerprint", spec.Name)
+		}
+	}
+}
+
+func TestSpecFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := small()
+	spec.Policies = []string{sched.NameAMPoM}
+	if err := SaveSpec(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec.Canonical()) {
+		t.Fatalf("file round trip changed the spec:\nwant %+v\ngot  %+v", spec.Canonical(), got)
+	}
+	// The explicit policy set canonicalises to {AMPoM, baseline}, sorted.
+	want := []string{sched.NameAMPoM, sched.BaselineName}
+	if !reflect.DeepEqual(got.Policies, want) {
+		t.Fatalf("policies = %v, want %v", got.Policies, want)
+	}
+}
+
+func TestDecodeSpecDefaults(t *testing.T) {
+	spec, err := DecodeSpec([]byte(`{"version": 1, "name": "tiny", "nodes": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Name: "tiny", Nodes: 4}.Canonical()
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("defaulting diverged from Canonical:\nwant %+v\ngot  %+v", want, spec)
+	}
+	if len(spec.Policies) != len(sched.Names()) {
+		t.Fatalf("default policy set %v, want every registered policy", spec.Policies)
+	}
+}
+
+func TestDecodeSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":     `{"version": 1, "nodez": 4}`,
+		"missing version":   `{"name": "x"}`,
+		"future version":    `{"version": 99}`,
+		"bad arrival":       `{"version": 1, "arrival": "bogus"}`,
+		"bad placement":     `{"version": 1, "placement": "bogus"}`,
+		"bad mix kind":      `{"version": 1, "mix": [{"kind": "bogus", "weight": 1}]}`,
+		"bad churn kind":    `{"version": 1, "churn": [{"at": "1s", "kind": "bogus", "node": 1}]}`,
+		"bad duration":      `{"version": 1, "mean_compute": "fast"}`,
+		"unknown policy":    `{"version": 1, "policies": ["bogus"]}`,
+		"invalid structure": `{"version": 1, "nodes": 1}`,
+		"trailing data":     `{"version": 1} {"version": 1}`,
+		"not json":          `nonsense`,
+	}
+	for name, doc := range cases {
+		if _, err := DecodeSpec([]byte(doc)); err == nil {
+			t.Errorf("%s accepted: %s", name, doc)
+		}
+	}
+}
+
+func TestReportJSONAndCSVDeterministic(t *testing.T) {
+	rep := MustRun(small(), 7)
+	j1, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := MustRun(small(), 7).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatal("equal-seed runs rendered different JSON")
+	}
+	if rep.CSV() != MustRun(small(), 7).CSV() {
+		t.Fatal("equal-seed runs rendered different CSV")
+	}
+	// One row per policy, in report order, in both encodings.
+	for _, st := range rep.Schemes {
+		if !strings.Contains(string(j1), `"policy": "`+st.Policy+`"`) {
+			t.Fatalf("JSON missing policy %q:\n%s", st.Policy, j1)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(rep.CSV()), "\n")
+	if len(lines) != 1+len(rep.Schemes) {
+		t.Fatalf("CSV has %d lines for %d policies", len(lines), len(rep.Schemes))
+	}
+	if lines[0] != strings.Join(csvHeader, ",") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestReportsEncodersSkipNil(t *testing.T) {
+	rep := MustRun(small(), 7)
+	js, err := ReportsJSON([]*Report{nil, rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(js), "[") {
+		t.Fatal("ReportsJSON is not an array")
+	}
+	csv := ReportsCSV([]*Report{nil, rep, rep})
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+2*len(rep.Schemes) {
+		t.Fatalf("concatenated CSV has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecRoundTrip locks the codec's two contracts: malformed input never
+// panics (it errors), and any document that decodes round-trips exactly —
+// decode→encode→decode is the identity and the encoding is stable. The
+// seed corpus is the four built-in presets plus a minimal document.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, spec := range Presets() {
+		enc, err := EncodeSpec(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"version": 1}`))
+	f.Add([]byte(`{"version": 1, "skew": -0.5, "churn": [{"at": "3s", "kind": "burst", "node": 0, "procs": 2}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s1, err := DecodeSpec(data)
+		if err != nil {
+			return // rejected, never panicking, is the contract for garbage
+		}
+		enc1, err := EncodeSpec(s1)
+		if err != nil {
+			t.Fatalf("decoded spec failed to encode: %v\nspec: %+v", err, s1)
+		}
+		s2, err := DecodeSpec(enc1)
+		if err != nil {
+			t.Fatalf("encoded spec failed to decode: %v\n%s", err, enc1)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("round trip changed the spec:\nfirst  %+v\nsecond %+v", s1, s2)
+		}
+		enc2, err := EncodeSpec(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding unstable:\n%s\n---\n%s", enc1, enc2)
+		}
+	})
+}

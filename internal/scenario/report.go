@@ -10,7 +10,8 @@ import (
 
 // SchemeStats summarises one policy's run of a scenario.
 type SchemeStats struct {
-	Policy sched.Policy
+	// Policy is the balancer policy's registry name.
+	Policy string
 
 	// Makespan is the instant the last process finished (or the horizon if
 	// Unfinished > 0).
@@ -51,8 +52,8 @@ type Report struct {
 	Seed uint64
 	// Procs counts every process injected, churn bursts included.
 	Procs int
-	// Schemes holds per-policy statistics in Policies() order; index 0 is
-	// the no-migration baseline.
+	// Schemes holds per-policy statistics in the spec's canonical
+	// (registry-sorted) policy order — variable-width, keyed by name.
 	Schemes []SchemeStats
 }
 
@@ -86,7 +87,7 @@ func (r *Report) Render() string {
 	rows := make([][]string, 0, len(r.Schemes))
 	for _, st := range r.Schemes {
 		rows = append(rows, []string{
-			st.Policy.String(),
+			st.Policy,
 			fmt.Sprintf("%.1f", st.Makespan.Seconds()),
 			fmt.Sprintf("%.2f", st.MeanSlowdown),
 			fmt.Sprintf("%.2f", st.SlowdownVsBase),
@@ -131,14 +132,23 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
-// Baseline returns the no-migration statistics.
-func (r *Report) Baseline() SchemeStats { return r.Schemes[0] }
+// Baseline returns the no-migration statistics (the first row if the
+// baseline was somehow excluded).
+func (r *Report) Baseline() SchemeStats {
+	if st, ok := r.Scheme(sched.BaselineName); ok {
+		return st
+	}
+	if len(r.Schemes) > 0 {
+		return r.Schemes[0]
+	}
+	return SchemeStats{}
+}
 
-// Scheme returns the statistics of one policy, or false if the policy was
-// not run.
-func (r *Report) Scheme(p sched.Policy) (SchemeStats, bool) {
+// Scheme returns the statistics of one policy by registry name, or false
+// if the policy was not run.
+func (r *Report) Scheme(name string) (SchemeStats, bool) {
 	for _, st := range r.Schemes {
-		if st.Policy == p {
+		if st.Policy == name {
 			return st, true
 		}
 	}

@@ -14,11 +14,10 @@ import (
 	"ampom/internal/simtime"
 )
 
-// Policies lists the balancing policies every scenario is run under, in
-// report order. NoMigration is the baseline the slowdown ratios divide by.
-func Policies() []sched.Policy {
-	return []sched.Policy{sched.NoMigration, sched.OpenMosixCost, sched.AMPoMCost}
-}
+// DefaultPolicies lists every registered balancing policy in registry
+// order — the set a canonical Spec with no explicit Policies runs under.
+// The no-migration baseline is the row slowdown ratios divide by.
+func DefaultPolicies() []string { return sched.Names() }
 
 // procTemplate is one pre-drawn process. Templates are drawn once per
 // (Spec, seed) and replayed identically under every policy, so cross-policy
@@ -120,8 +119,9 @@ type migMsg struct {
 
 // clusterSim is one policy's end-to-end simulation.
 type clusterSim struct {
-	spec   Spec
-	policy sched.Policy
+	spec  Spec
+	pol   sched.BalancerPolicy
+	prand *prng.Source // policy-decision stream (probabilistic policies)
 
 	eng   *sim.Engine
 	nodes []*cluster.Node
@@ -138,13 +138,17 @@ type clusterSim struct {
 
 // newClusterSim wires the cluster: nodes, star links, paired infod daemons,
 // the migration payload handlers, arrivals, churn and the two tickers.
-func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, policy sched.Policy, seed uint64) *clusterSim {
+func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.BalancerPolicy, seed uint64) *clusterSim {
 	c := &clusterSim{
-		spec:    spec,
-		policy:  policy,
+		spec: spec,
+		pol:  pol,
+		// Each policy draws decisions from its own stream, a pure function
+		// of (scenario seed, policy name), so adding a policy to the set
+		// never perturbs another policy's run.
+		prand:   prng.New(seed ^ fnvHash(pol.Name())),
 		eng:     sim.New(),
 		horizon: simtime.Time(spec.MaxSimTime),
-		st:      SchemeStats{Policy: policy},
+		st:      SchemeStats{Policy: pol.Name()},
 	}
 
 	c.nodes = make([]*cluster.Node, spec.Nodes)
@@ -210,10 +214,20 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, policy sche
 	}
 
 	sim.NewTicker(c.eng, spec.Quantum, c.tick)
-	if policy != sched.NoMigration {
+	if pol.Name() != sched.BaselineName {
 		sim.NewTicker(c.eng, spec.BalancePeriod, c.balance)
 	}
 	return c
+}
+
+// fnvHash is FNV-1a over s — the per-policy stream discriminator.
+func fnvHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // run executes the simulation to completion (or the horizon) and finalises
@@ -276,25 +290,52 @@ func (c *clusterSim) tick() {
 	}
 }
 
-// loads returns the per-node process counts (frozen migrants count towards
-// their destination, as in the sched study) and the CPU-scaled loads the
-// balancer compares.
-func (c *clusterSim) loads() (counts []int, loads []float64) {
-	counts = make([]int, c.spec.Nodes)
+// view assembles the policy's picture of the cluster: per-node runnable
+// counts (frozen migrants count towards their destination, as in the sched
+// study), CPU-scaled loads, resident memory, and the monitoring daemons'
+// conservative bandwidth estimate. Decisions are charged against this view;
+// the executed migration is then costed with the pair-specific estimate.
+func (c *clusterSim) view() sched.View {
+	v := sched.View{
+		Nodes:         make([]sched.NodeView, c.spec.Nodes),
+		BandwidthBps:  c.clusterBandwidth(),
+		CostThreshold: c.spec.CostThreshold,
+		Rand:          c.prand,
+	}
+	for i := range v.Nodes {
+		v.Nodes[i].CPUScale = c.nodes[i].CPUScale
+		v.Nodes[i].CapacityMB = c.spec.NodeMemMB
+	}
 	for _, p := range c.procs {
 		if p.arrived && !p.done {
-			counts[p.node]++
+			v.Nodes[p.node].Procs++
+			v.Nodes[p.node].UsedMemMB += p.t.footprintMB
 		}
 	}
-	loads = make([]float64, c.spec.Nodes)
-	for i, n := range counts {
-		loads[i] = float64(n) / c.nodes[i].CPUScale
+	for i := range v.Nodes {
+		v.Nodes[i].Load = float64(v.Nodes[i].Procs) / v.Nodes[i].CPUScale
 	}
-	return counts, loads
+	return v
+}
+
+// clusterBandwidth is the tightest spoke-daemon bandwidth estimate — the
+// conservative figure the balancer decides with, since it does not yet know
+// which pair of nodes a migration will cross.
+func (c *clusterSim) clusterBandwidth() float64 {
+	bw := 0.0
+	for i := 1; i < c.spec.Nodes; i++ {
+		if b := c.spoke[i].Bandwidth(); b > 0 && (bw == 0 || b < bw) {
+			bw = b
+		}
+	}
+	if bw == 0 {
+		bw = c.spec.Network.BandwidthBps
+	}
+	return bw
 }
 
 // balance runs one balancing round: up to one migration per node, stopping
-// at the first round where the cost-benefit rule clears nothing.
+// at the first pass where the policy accepts nothing.
 func (c *clusterSim) balance() {
 	for i := 0; i < c.spec.Nodes; i++ {
 		if !c.balanceOnce() {
@@ -303,51 +344,38 @@ func (c *clusterSim) balance() {
 	}
 }
 
-// balanceOnce migrates one process from the most to the least loaded node
-// when the rule justifies it, reporting whether a migration happened.
+// balanceOnce offers the policy candidates — most loaded nodes first,
+// longest remaining demand first — and executes the first migration it
+// accepts, reporting whether one happened.
 func (c *clusterSim) balanceOnce() bool {
-	counts, loads := c.loads()
-	src, dst := 0, 0
-	for n := range loads {
-		if loads[n] > loads[src] {
-			src = n
-		}
-		if loads[n] < loads[dst] {
-			dst = n
+	v := c.view()
+	for _, src := range v.NodesByLoad() {
+		for _, p := range c.candidatesOn(src) {
+			pv := sched.ProcView{
+				ID:             p.t.id,
+				Node:           src,
+				Remaining:      p.remaining,
+				FootprintMB:    p.t.footprintMB,
+				WorkingSetFrac: p.t.mix.WorkingSetFrac(),
+			}
+			dest, ok := c.pol.ShouldMigrate(v, pv)
+			if !ok || dest == src || dest < 0 || dest >= c.spec.Nodes {
+				continue
+			}
+			c.migrate(p, src, dest)
+			return true
 		}
 	}
-	if src == dst || loads[src] <= loads[dst] {
-		return false
-	}
+	return false
+}
 
-	// Candidate: the runnable process on src with the most remaining work
-	// (its lifetime best justifies the cost, following Harchol-Balter &
-	// Downey).
-	var cand *proc
-	for _, p := range c.procs {
-		if !p.arrived || p.done || p.frozen || p.node != src {
-			continue
-		}
-		if cand == nil || p.remaining > cand.remaining {
-			cand = p
-		}
-	}
-	if cand == nil {
-		return false
-	}
-
-	// Cost-benefit rule, charged with the monitoring daemons' current
-	// bandwidth estimate — a busy interconnect (bulk migrations, background
-	// load) raises the estimated cost and makes the balancer hold back.
-	bw := c.bandwidthEstimate(src, dst)
-	freeze, extra := sched.MigrationCost(c.policy, cand.t.footprintMB, cand.t.mix.WorkingSetFrac(), bw)
-	stay := float64(cand.remaining) * float64(counts[src]) / c.nodes[src].CPUScale
-	move := float64(freeze+extra) + float64(cand.remaining)*float64(counts[dst]+1)/c.nodes[dst].CPUScale
-	if stay < c.spec.CostThreshold*move {
-		return false
-	}
-	c.migrate(cand, src, dst)
-	return true
+// candidatesOn returns up to sched.MaxCandidates runnable processes on
+// node, longest remaining demand first (lifetime best justifies the cost,
+// following Harchol-Balter & Downey), ties broken by ascending id.
+func (c *clusterSim) candidatesOn(node int) []*proc {
+	return sched.TopCandidates(c.procs,
+		func(p *proc) bool { return p.arrived && !p.done && !p.frozen && p.node == node },
+		func(p *proc) simtime.Duration { return p.remaining })
 }
 
 // migrate freezes cand and ships its freeze-time payload across the star:
@@ -374,17 +402,16 @@ func (c *clusterSim) migrate(p *proc, src, dst int) {
 	}
 }
 
-// freezeBytes sizes the freeze-time transfer under the policy.
+// freezeBytes sizes the freeze-time transfer under the policy: policies
+// that ship a non-default payload (openMosix's full copy) declare it via
+// sched.FreezePayloadSizer; everything else rides the AMPoM substrate —
+// three pages, the 6 B/page MPT, and the PCB.
 func (c *clusterSim) freezeBytes(p *proc) int64 {
-	pages := footprintPages(p.t.footprintMB)
-	switch c.policy {
-	case sched.OpenMosixCost:
-		// Every page plus per-page framing plus the PCB.
-		return pages*(memory.PageSize+64) + cluster.RegisterBytes
-	default:
-		// AMPoM: three pages, the 6 B/page MPT, and the PCB.
-		return 3*memory.PageSize + pages*memory.PTEntrySize + cluster.RegisterBytes
+	if s, ok := c.pol.(sched.FreezePayloadSizer); ok {
+		return s.FreezePayloadBytes(p.t.footprintMB) + cluster.RegisterBytes
 	}
+	pages := footprintPages(p.t.footprintMB)
+	return 3*memory.PageSize + pages*memory.PTEntrySize + cluster.RegisterBytes
 }
 
 // deliver consumes a migration payload arriving at node. The head node
@@ -407,25 +434,25 @@ func (c *clusterSim) deliver(node int, m migMsg) {
 func (c *clusterSim) restore(p *proc, dst int) {
 	cal := 65 * simtime.Millisecond // openMosix protocol base cost
 	pages := footprintPages(p.t.footprintMB)
+	src := 0
+	if p.pcb.Home != nil {
+		for i, n := range c.nodes {
+			if n == p.pcb.Home {
+				src = i
+				break
+			}
+		}
+	}
+	bw := c.bandwidthEstimate(src, dst)
 	var extra simtime.Duration
-	if c.policy == sched.AMPoMCost {
+	if c.remotePages(p, bw) {
 		// MPT install on the destination CPU.
 		cal += c.nodes[dst].Scale(simtime.Duration(pages*3) * simtime.Microsecond)
 		// The working set streams in from the origin while the process
 		// stalls on remote paging; the prefetcher census extrapolates how
 		// many of those first touches fault versus arrive prefetched.
-		src := 0
-		if p.pcb.Home != nil {
-			for i, n := range c.nodes {
-				if n == p.pcb.Home {
-					src = i
-					break
-				}
-			}
-		}
 		wsPages := int64(float64(pages) * p.t.mix.WorkingSetFrac())
 		wsBytes := wsPages * memory.PageSize
-		bw := c.bandwidthEstimate(src, dst)
 		extra = simtime.FromSeconds(float64(wsBytes) / bw)
 		c.st.ExtraWork += extra
 		c.st.MigrationBytes += wsBytes
@@ -435,6 +462,18 @@ func (c *clusterSim) restore(p *proc, dst int) {
 		c.st.PrefetchPages += pref
 	}
 	c.eng.Schedule(cal+extra, func() { c.unfreeze(p) })
+}
+
+// remotePages decides whether a migrant rides the lightweight substrate —
+// MPT install, post-resume working-set stream and prefetch census. The
+// policy states it explicitly via sched.RemotePager; otherwise its cost
+// model classifies it (a non-zero extra means remote paging).
+func (c *clusterSim) remotePages(p *proc, bw float64) bool {
+	if rp, ok := c.pol.(sched.RemotePager); ok {
+		return rp.RemotePages()
+	}
+	_, extra := c.pol.MigrationCost(p.t.footprintMB, p.t.mix.WorkingSetFrac(), bw)
+	return extra > 0
 }
 
 // unfreeze resumes a restored migrant.
@@ -538,26 +577,30 @@ func (c *clusterSim) estimates(src, dst int) core.Estimates {
 	return out
 }
 
-// Run executes the scenario under every policy from the single seed and
-// assembles the cluster-level report. It is a pure function of its
+// Run executes the scenario under the spec's policy set from the single
+// seed and assembles the cluster-level report. It is a pure function of its
 // arguments: the same (Spec, seed) always yields an identical Report.
+// Report rows follow the canonical (registry-sorted) policy order.
 func Run(spec Spec, seed uint64) (*Report, error) {
 	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	pols, err := sched.ByNames(spec.Policies)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	if seed == 0 {
 		seed = 42
 	}
 	scales, tmpl := buildWorkload(spec, seed)
 	rep := &Report{Spec: spec, Seed: seed, Procs: len(tmpl)}
-	for _, pol := range Policies() {
+	for _, pol := range pols {
 		st := newClusterSim(spec, scales, tmpl, pol, seed).run()
 		rep.Schemes = append(rep.Schemes, st)
 	}
-	base := rep.Schemes[0].MeanSlowdown
-	for i := range rep.Schemes {
-		if base > 0 {
+	if base := rep.Baseline().MeanSlowdown; base > 0 {
+		for i := range rep.Schemes {
 			rep.Schemes[i].SlowdownVsBase = rep.Schemes[i].MeanSlowdown / base
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"ampom/internal/memory"
 	"ampom/internal/netmodel"
 	"ampom/internal/prng"
+	"ampom/internal/sched"
 	"ampom/internal/simtime"
 	"ampom/internal/trace"
 )
@@ -242,9 +243,19 @@ type Spec struct {
 	// (default 128 MB).
 	MeanCompute     simtime.Duration
 	MeanFootprintMB int64
+	// NodeMemMB is each node's physical memory — what the memory-ushering
+	// policy balances against. Default: four balanced shares of the mean
+	// footprint (4 × ⌈Procs/Nodes⌉ × MeanFootprintMB).
+	NodeMemMB int64
 	// Mix weights the per-process reference shapes. Default: all
 	// sequential.
 	Mix []MixWeight
+
+	// Policies names the balancer policies the scenario runs under, by
+	// registry name. Empty means every registered policy. The canonical
+	// form is sorted, deduplicated and always contains the no-migration
+	// baseline the slowdown ratios divide by.
+	Policies []string
 
 	// Network is the spoke-link profile of the star interconnect (zero
 	// value: Fast Ethernet). BackgroundLoad is the initial fraction of
@@ -298,9 +309,14 @@ func (s Spec) Canonical() Spec {
 	if s.MeanFootprintMB == 0 {
 		s.MeanFootprintMB = 128
 	}
+	if s.NodeMemMB == 0 {
+		perNode := int64((s.Procs + s.Nodes - 1) / s.Nodes)
+		s.NodeMemMB = 4 * perNode * s.MeanFootprintMB
+	}
 	if len(s.Mix) == 0 {
 		s.Mix = []MixWeight{{Kind: MixSequential, Weight: 1}}
 	}
+	s.Policies = canonicalPolicies(s.Policies)
 	if s.Network.BandwidthBps == 0 {
 		s.Network = netmodel.FastEthernet()
 	}
@@ -317,6 +333,27 @@ func (s Spec) Canonical() Spec {
 		s.MaxSimTime = 4*simtime.Duration(s.Procs)*s.MeanCompute + simtime.Minute
 	}
 	return s
+}
+
+// canonicalPolicies resolves the policy set: empty means every registered
+// policy; otherwise the names are deduplicated, the no-migration baseline
+// is added if missing, and the set is sorted — the registry order every
+// report and fingerprint iterates in.
+func canonicalPolicies(names []string) []string {
+	if len(names) == 0 {
+		return sched.Names()
+	}
+	seen := make(map[string]bool, len(names)+1)
+	out := make([]string, 0, len(names)+1)
+	for _, n := range append([]string{sched.BaselineName}, names...) {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Validate reports the first structural problem of the canonical spec.
@@ -342,8 +379,14 @@ func (s Spec) Validate() error {
 	if s.MeanFootprintMB <= 0 {
 		return fmt.Errorf("scenario: non-positive mean footprint %d MB", s.MeanFootprintMB)
 	}
+	if s.NodeMemMB <= 0 {
+		return fmt.Errorf("scenario: non-positive node memory %d MB", s.NodeMemMB)
+	}
 	if s.CostThreshold <= 0 {
 		return fmt.Errorf("scenario: non-positive cost threshold %g", s.CostThreshold)
+	}
+	if _, err := sched.ByNames(s.Policies); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	if s.BackgroundLoad < 0 || s.BackgroundLoad > 0.95 {
 		return fmt.Errorf("scenario: background load %g out of [0,0.95]", s.BackgroundLoad)
@@ -352,6 +395,9 @@ func (s Spec) Validate() error {
 	for _, m := range s.Mix {
 		if m.Weight < 0 {
 			return fmt.Errorf("scenario: negative mix weight for %v", m.Kind)
+		}
+		if m.Weight > 1<<20 {
+			return fmt.Errorf("scenario: mix weight %d for %v above 2^20", m.Weight, m.Kind)
 		}
 		total += m.Weight
 	}
@@ -400,7 +446,10 @@ func (s Spec) Fingerprint() string {
 	fmt.Fprintf(&b, "name=%s|nodes=%d|procs=%d|tiers=%g@%g/%g@%g",
 		s.Name, s.Nodes, s.Procs, s.SlowFrac, s.SlowScale, s.FastFrac, s.FastScale)
 	fmt.Fprintf(&b, "|arrival=%s/%d|place=%s/%g", s.Arrival, int64(s.MeanInterarrival), s.Placement, s.Skew)
-	fmt.Fprintf(&b, "|compute=%d|fp=%d", int64(s.MeanCompute), s.MeanFootprintMB)
+	fmt.Fprintf(&b, "|compute=%d|fp=%d|mem=%d", int64(s.MeanCompute), s.MeanFootprintMB, s.NodeMemMB)
+	// The policy set is part of the job key: campaigns cache and seed per
+	// (spec, policies), so adding a policy re-runs the cell.
+	fmt.Fprintf(&b, "|pol=%s", strings.Join(s.Policies, ","))
 	b.WriteString("|mix=")
 	for i, m := range s.Mix {
 		if i > 0 {

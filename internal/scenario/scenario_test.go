@@ -115,11 +115,11 @@ func TestValidateRejects(t *testing.T) {
 func TestMigrationImprovesSkewedBurst(t *testing.T) {
 	rep := MustRun(small(), 42)
 	base := rep.Baseline()
-	am, ok := rep.Scheme(sched.AMPoMCost)
+	am, ok := rep.Scheme(sched.NameAMPoM)
 	if !ok {
 		t.Fatal("no AMPoM row")
 	}
-	om, ok := rep.Scheme(sched.OpenMosixCost)
+	om, ok := rep.Scheme(sched.NameOpenMosix)
 	if !ok {
 		t.Fatal("no openMosix row")
 	}
@@ -137,6 +137,72 @@ func TestMigrationImprovesSkewedBurst(t *testing.T) {
 	}
 	if base.Migrations != 0 || base.MigrationBytes != 0 {
 		t.Fatal("no-migration baseline moved something")
+	}
+}
+
+func TestPolicySetCanonicalAndFingerprinted(t *testing.T) {
+	full := small()
+	subset := small()
+	subset.Policies = []string{sched.NameAMPoM}
+
+	// Canonical: empty means the whole registry; explicit sets gain the
+	// baseline and sort.
+	if got := full.Canonical().Policies; len(got) != len(sched.Names()) {
+		t.Fatalf("default policy set %v, want the registry", got)
+	}
+	want := []string{sched.NameAMPoM, sched.BaselineName}
+	got := subset.Canonical().Policies
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("subset canonicalised to %v, want %v", got, want)
+	}
+
+	// The policy set is part of the job key.
+	if full.Fingerprint() == subset.Fingerprint() {
+		t.Fatal("policy set missing from the fingerprint")
+	}
+
+	// A subset run reports exactly its rows, in sorted order.
+	rep := MustRun(subset, 42)
+	if len(rep.Schemes) != 2 || rep.Schemes[0].Policy != sched.NameAMPoM || rep.Schemes[1].Policy != sched.BaselineName {
+		t.Fatalf("subset report rows wrong: %+v", rep.Schemes)
+	}
+	if rep.Baseline().Policy != sched.BaselineName {
+		t.Fatal("Baseline did not find the no-migration row")
+	}
+
+	// Unknown policies are rejected.
+	bad := small()
+	bad.Policies = []string{"bogus"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+}
+
+func TestNewPoliciesActOnPressure(t *testing.T) {
+	// A tight-memory, heavily skewed cluster: the usher must evacuate the
+	// entry node, and the load-vector policy must migrate despite partial
+	// knowledge.
+	spec := small()
+	spec.NodeMemMB = 2 * spec.MeanFootprintMB
+	rep := MustRun(spec, 42)
+	usher, ok := rep.Scheme(sched.NameMemUsher)
+	if !ok {
+		t.Fatal("no mem-usher row")
+	}
+	if usher.Migrations == 0 {
+		t.Fatal("memory pressure triggered no ushering")
+	}
+	lv, ok := rep.Scheme(sched.NameLoadVector)
+	if !ok {
+		t.Fatal("no load-vector row")
+	}
+	if lv.Migrations == 0 {
+		t.Fatal("skewed burst triggered no load-vector migrations")
+	}
+	base := rep.Baseline()
+	if lv.MeanSlowdown >= base.MeanSlowdown {
+		t.Fatalf("load-vector slowdown %.2f did not beat no-migration %.2f",
+			lv.MeanSlowdown, base.MeanSlowdown)
 	}
 }
 

@@ -1,0 +1,469 @@
+// Balancer policies as an open extension point. The paper's §7 outlook
+// frames load balancing as a *family* of cost models riding on the
+// migration substrate; this file turns the closed three-policy enum into a
+// BalancerPolicy interface plus a registry, so new policies (the openMosix
+// probabilistic load vectors and memory-pressure ushering of the related
+// HPC-farm literature, queue-length gossip, user-defined models) plug in
+// without touching the simulators that drive them.
+//
+// A policy is a stateless, immutable value: every input it decides on
+// arrives through the View, including the PRNG stream probabilistic
+// policies draw from. That makes one registered instance safe to share
+// across the campaign engine's concurrent scenario workers.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ampom/internal/memory"
+	"ampom/internal/prng"
+	"ampom/internal/simtime"
+)
+
+// NodeView is one node as the balancer sees it at a decision point.
+type NodeView struct {
+	// Procs is the number of live processes resident on the node.
+	Procs int
+	// CPUScale is the node's CPU speed relative to the reference CPU.
+	CPUScale float64
+	// Load is the CPU-scaled load the balancer compares: Procs / CPUScale.
+	Load float64
+	// UsedMemMB sums the footprints of the processes resident on the node.
+	UsedMemMB int64
+	// CapacityMB is the node's physical memory.
+	CapacityMB int64
+}
+
+// ProcView is the migration candidate a policy is asked about.
+type ProcView struct {
+	// ID is the process identifier (stable across the run).
+	ID int
+	// Node is the process's current node.
+	Node int
+	// Remaining is the candidate's estimated remaining service demand.
+	Remaining simtime.Duration
+	// FootprintMB is the process footprint.
+	FootprintMB int64
+	// WorkingSetFrac is the fraction of the footprint the process touches
+	// after migrating (§5.6).
+	WorkingSetFrac float64
+}
+
+// View is everything a policy sees at one decision point. It is rebuilt by
+// the driving simulator before every decision, so policies stay stateless.
+type View struct {
+	// Nodes holds every node's current state, indexed by node id.
+	Nodes []NodeView
+	// BandwidthBps is the monitoring daemons' conservative estimate of the
+	// interconnect bandwidth available to a migration.
+	BandwidthBps float64
+	// CostThreshold is the cost-benefit safety factor of the run.
+	CostThreshold float64
+	// Rand is the run's policy-decision PRNG stream. Probabilistic policies
+	// draw from it; deterministic policies ignore it. May be nil, in which
+	// case probabilistic policies fall back to full knowledge.
+	Rand *prng.Source
+}
+
+// BalancerPolicy decides when and where the load balancer migrates. The
+// three methods are the whole contract: a name (the registry key and report
+// label), the migration cost model the balancer charges, and the decision
+// itself.
+type BalancerPolicy interface {
+	// Name is the registry key. Reports key their per-policy rows by it.
+	Name() string
+	// MigrationCost returns the freeze duration and the post-resume
+	// remote-paging work that migrating a process of footprintMB costs, at
+	// bandwidthBps of interconnect bandwidth, when wsFrac of the footprint
+	// is touched after the move. A zero extra means the mechanism moves
+	// everything at freeze time (no remote paging after resume).
+	MigrationCost(footprintMB int64, wsFrac, bandwidthBps float64) (freeze, extra simtime.Duration)
+	// ShouldMigrate decides whether proc should move, returning the
+	// destination node. The driver offers candidates from the most loaded
+	// nodes first, longest remaining demand first.
+	ShouldMigrate(view View, proc ProcView) (dest int, ok bool)
+}
+
+// FreezePayloadSizer is an optional BalancerPolicy extension: policies
+// whose mechanism ships a non-default freeze-time payload implement it so
+// the scenario engine's network model carries the right byte count. The
+// default (for policies that do not implement it) is AMPoM's lightweight
+// payload: three pages plus the 6 B/page MPT.
+type FreezePayloadSizer interface {
+	// FreezePayloadBytes is the freeze-time network payload, excluding the
+	// PCB/register state every mechanism ships.
+	FreezePayloadBytes(footprintMB int64) int64
+}
+
+// RemotePager is an optional BalancerPolicy extension: policies state
+// explicitly whether their mechanism remote-pages the working set after
+// resume (the lightweight substrate — MPT install, post-resume stream,
+// prefetch census) or moves everything at freeze time. Policies that do
+// not implement it are classified by their cost model: a non-zero extra
+// from MigrationCost means the lightweight substrate. Implement this when
+// the cost model's extra can legitimately be zero in some regimes even
+// though the mechanism still remote-pages (or vice versa).
+type RemotePager interface {
+	// RemotePages reports whether migrants page their working set in from
+	// the origin after resuming.
+	RemotePages() bool
+}
+
+// The built-in policy names, in registry-sorted order.
+const (
+	NameAMPoM       = "AMPoM"
+	NameLoadVector  = "load-vector"
+	NameMemUsher    = "mem-usher"
+	NameNoMigration = "no-migration"
+	NameOpenMosix   = "openMosix"
+)
+
+// BaselineName is the policy every report's slowdown ratios divide by.
+const BaselineName = NameNoMigration
+
+// footprintBytesAndPages converts a footprint in MB.
+func footprintBytesAndPages(footprintMB int64) (bytes float64, pages float64) {
+	bytes = float64(footprintMB) * 1e6
+	return bytes, bytes / float64(memory.PageSize)
+}
+
+// FullCopyCost is the openMosix cost model: every dirty page moves during
+// the freeze, so the process stalls for footprint/bandwidth (plus the
+// 65 ms protocol base cost) and owes nothing afterwards.
+func FullCopyCost(footprintMB int64, bandwidthBps float64) (freeze, extra simtime.Duration) {
+	bytes, _ := footprintBytesAndPages(footprintMB)
+	return simtime.FromSeconds(bytes/bandwidthBps) + 65*simtime.Millisecond, 0
+}
+
+// LightweightCost is the AMPoM cost model: three pages plus the 6 B/page
+// MPT move at freeze, and the working set is remote-paged during execution
+// as extra work (the Figure 6 finding that prefetching amortises round
+// trips but transfer time adds to compute).
+func LightweightCost(footprintMB int64, wsFrac, bandwidthBps float64) (freeze, extra simtime.Duration) {
+	bytes, pages := footprintBytesAndPages(footprintMB)
+	mptBytes := pages * memory.PTEntrySize
+	freeze = simtime.FromSeconds(mptBytes/bandwidthBps) +
+		simtime.Duration(pages*3)*simtime.Microsecond + 65*simtime.Millisecond
+	extra = simtime.FromSeconds(bytes * wsFrac / bandwidthBps)
+	return freeze, extra
+}
+
+// MaxCandidates bounds how many processes per node a driving simulator
+// offers the policy each balancing round, longest remaining demand first.
+const MaxCandidates = 4
+
+// TopCandidates selects up to MaxCandidates eligible items with the
+// largest remaining demand, earliest-input-first on ties — the shared
+// candidate-selection rule of the sched study and the scenario engine
+// (callers iterate their processes in ascending id order).
+func TopCandidates[T any](items []T, eligible func(T) bool, remaining func(T) simtime.Duration) []T {
+	var top []T
+	for _, it := range items {
+		if !eligible(it) {
+			continue
+		}
+		at := len(top)
+		for at > 0 && remaining(top[at-1]) < remaining(it) {
+			at--
+		}
+		if at >= MaxCandidates {
+			continue
+		}
+		var zero T
+		top = append(top, zero)
+		copy(top[at+1:], top[at:])
+		top[at] = it
+		if len(top) > MaxCandidates {
+			top = top[:MaxCandidates]
+		}
+	}
+	return top
+}
+
+// LeastLoaded returns the index of the least loaded node (lowest index on
+// ties).
+func (v View) LeastLoaded() int {
+	best := 0
+	for i, n := range v.Nodes {
+		if n.Load < v.Nodes[best].Load {
+			best = i
+		}
+	}
+	return best
+}
+
+// NodesByLoad returns the node indices sorted by descending load (lowest
+// index first on ties) — the order the drivers offer source nodes in.
+func (v View) NodesByLoad() []int {
+	order := make([]int, len(v.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return v.Nodes[order[a]].Load > v.Nodes[order[b]].Load
+	})
+	return order
+}
+
+// Clears applies the cost-benefit rule of Harchol-Balter & Downey (the
+// paper's [10]): proc migrates to dest only when its estimated completion
+// staying put (processor sharing on its node) beats migrating (freeze,
+// remote-paging stalls, sharing on dest) by the view's safety factor.
+func (v View) Clears(p ProcView, dest int, freeze, extra simtime.Duration) bool {
+	src, dst := v.Nodes[p.Node], v.Nodes[dest]
+	stay := float64(p.Remaining) * float64(src.Procs) / src.CPUScale
+	move := float64(freeze+extra) + float64(p.Remaining)*float64(dst.Procs+1)/dst.CPUScale
+	return stay >= v.CostThreshold*move
+}
+
+// noMigration is the baseline: it never migrates and charges nothing.
+type noMigration struct{}
+
+func (noMigration) Name() string { return NameNoMigration }
+
+func (noMigration) MigrationCost(int64, float64, float64) (simtime.Duration, simtime.Duration) {
+	return 0, 0
+}
+
+func (noMigration) ShouldMigrate(View, ProcView) (int, bool) { return 0, false }
+
+// openMosix is the paper's baseline mechanism under the §7 cost-benefit
+// rule: the full-address-space freeze makes most candidate moves fail the
+// rule, so the balancer holds back.
+type openMosix struct{}
+
+func (openMosix) Name() string { return NameOpenMosix }
+
+func (openMosix) MigrationCost(footprintMB int64, _, bandwidthBps float64) (simtime.Duration, simtime.Duration) {
+	return FullCopyCost(footprintMB, bandwidthBps)
+}
+
+func (openMosix) FreezePayloadBytes(footprintMB int64) int64 {
+	_, pages := footprintBytesAndPages(footprintMB)
+	// Every page plus per-page framing.
+	return int64(pages) * (memory.PageSize + 64)
+}
+
+func (openMosix) RemotePages() bool { return false }
+
+func (p openMosix) ShouldMigrate(v View, proc ProcView) (int, bool) {
+	freeze, extra := p.MigrationCost(proc.FootprintMB, proc.WorkingSetFrac, v.BandwidthBps)
+	return classicTarget(v, proc, freeze, extra)
+}
+
+// ampom is the §7 study's headline policy: the lightweight freeze makes far
+// more candidate moves clear the same rule — the paper's "more aggressive
+// migrations".
+type ampom struct{}
+
+func (ampom) Name() string { return NameAMPoM }
+
+func (ampom) MigrationCost(footprintMB int64, wsFrac, bandwidthBps float64) (simtime.Duration, simtime.Duration) {
+	return LightweightCost(footprintMB, wsFrac, bandwidthBps)
+}
+
+func (p ampom) ShouldMigrate(v View, proc ProcView) (int, bool) {
+	freeze, extra := p.MigrationCost(proc.FootprintMB, proc.WorkingSetFrac, v.BandwidthBps)
+	return classicTarget(v, proc, freeze, extra)
+}
+
+// classicTarget is the shared decision core of the cost-model policies:
+// target the globally least loaded node, require a real load gap, and
+// apply the cost-benefit rule.
+func classicTarget(v View, proc ProcView, freeze, extra simtime.Duration) (int, bool) {
+	dest := v.LeastLoaded()
+	if dest == proc.Node || v.Nodes[proc.Node].Load <= v.Nodes[dest].Load {
+		return 0, false
+	}
+	if !v.Clears(proc, dest, freeze, extra) {
+		return 0, false
+	}
+	return dest, true
+}
+
+// loadVector models openMosix's probabilistic load-vector dissemination:
+// each node gossips its load to a few random peers per tick, so a balancer
+// decides from an l-entry random sample of the cluster rather than global
+// knowledge. The policy draws that sample from the view's PRNG stream,
+// targets the least loaded node *it happens to know about*, and charges the
+// lightweight cost model (it rides the AMPoM substrate).
+type loadVector struct {
+	// vectorLen is l, the number of peer loads in the gossiped vector.
+	vectorLen int
+}
+
+func (loadVector) Name() string { return NameLoadVector }
+
+func (loadVector) MigrationCost(footprintMB int64, wsFrac, bandwidthBps float64) (simtime.Duration, simtime.Duration) {
+	return LightweightCost(footprintMB, wsFrac, bandwidthBps)
+}
+
+func (p loadVector) ShouldMigrate(v View, proc ProcView) (int, bool) {
+	n := len(v.Nodes)
+	dest, know := -1, false
+	if v.Rand == nil || p.vectorLen >= n-1 {
+		// Full knowledge degenerates to the classic target.
+		if d := v.LeastLoaded(); d != proc.Node {
+			dest, know = d, true
+		}
+	} else {
+		// Draw the l peers whose loads reached this node's vector. Peers can
+		// repeat (gossip is redundant); the sample is still deterministic per
+		// run because the stream is seeded from (scenario seed, policy name).
+		for i := 0; i < p.vectorLen; i++ {
+			c := v.Rand.Intn(n)
+			if c == proc.Node {
+				continue
+			}
+			if !know || v.Nodes[c].Load < v.Nodes[dest].Load ||
+				(v.Nodes[c].Load == v.Nodes[dest].Load && c < dest) {
+				dest, know = c, true
+			}
+		}
+	}
+	if !know || v.Nodes[proc.Node].Load <= v.Nodes[dest].Load {
+		return 0, false
+	}
+	freeze, extra := LightweightCost(proc.FootprintMB, proc.WorkingSetFrac, v.BandwidthBps)
+	if !v.Clears(proc, dest, freeze, extra) {
+		return 0, false
+	}
+	return dest, true
+}
+
+// memUsher models openMosix's memory ushering: when a node's resident
+// footprints push past the high-water fraction of its physical memory, the
+// balancer evacuates processes to the node with the most free memory —
+// regardless of CPU load, because paging to disk costs more than any
+// imbalance. It ships on the lightweight substrate.
+type memUsher struct {
+	// highWater is the used-memory fraction that triggers ushering;
+	// lowWater bounds how full a destination may get.
+	highWater, lowWater float64
+}
+
+func (memUsher) Name() string { return NameMemUsher }
+
+func (memUsher) MigrationCost(footprintMB int64, wsFrac, bandwidthBps float64) (simtime.Duration, simtime.Duration) {
+	return LightweightCost(footprintMB, wsFrac, bandwidthBps)
+}
+
+func (p memUsher) ShouldMigrate(v View, proc ProcView) (int, bool) {
+	src := v.Nodes[proc.Node]
+	if src.CapacityMB <= 0 ||
+		float64(src.UsedMemMB) < p.highWater*float64(src.CapacityMB) {
+		return 0, false
+	}
+	best, bestFree := -1, int64(0)
+	for i, n := range v.Nodes {
+		if i == proc.Node || n.CapacityMB <= 0 {
+			continue
+		}
+		if float64(n.UsedMemMB+proc.FootprintMB) > p.lowWater*float64(n.CapacityMB) {
+			continue
+		}
+		if free := n.CapacityMB - n.UsedMemMB; free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// The built-in policy instances, usable directly without a registry lookup.
+var (
+	NoMigrationPolicy BalancerPolicy = noMigration{}
+	OpenMosixPolicy   BalancerPolicy = openMosix{}
+	AMPoMPolicy       BalancerPolicy = ampom{}
+	LoadVectorPolicy  BalancerPolicy = loadVector{vectorLen: 3}
+	MemUsherPolicy    BalancerPolicy = memUsher{highWater: 0.85, lowWater: 0.6}
+)
+
+// The registry. Policies are keyed by Name(); enumeration is always in
+// sorted-name order, so every report and fingerprint that iterates the
+// registry is deterministic.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]BalancerPolicy{}
+)
+
+func init() {
+	for _, p := range []BalancerPolicy{
+		NoMigrationPolicy, OpenMosixPolicy, AMPoMPolicy, LoadVectorPolicy, MemUsherPolicy,
+	} {
+		MustRegister(p)
+	}
+}
+
+// Register adds a policy to the registry. It fails on an empty name or a
+// name already taken.
+func Register(p BalancerPolicy) error {
+	name := p.Name()
+	if name == "" {
+		return fmt.Errorf("sched: policy with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("sched: policy %q already registered", name)
+	}
+	registry[name] = p
+	return nil
+}
+
+// MustRegister is Register, panicking on failure — for package init blocks.
+func MustRegister(p BalancerPolicy) {
+	if err := Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the policy registered under name.
+func Lookup(name string) (BalancerPolicy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names returns every registered policy name, sorted — the canonical
+// iteration order of reports and fingerprints.
+func Names() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered policy in sorted-name order.
+func All() []BalancerPolicy {
+	names := Names()
+	out := make([]BalancerPolicy, len(names))
+	for i, n := range names {
+		out[i], _ = Lookup(n)
+	}
+	return out
+}
+
+// ByNames resolves names to registered policies, preserving input order.
+func ByNames(names []string) ([]BalancerPolicy, error) {
+	out := make([]BalancerPolicy, len(names))
+	for i, n := range names {
+		p, ok := Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("sched: unknown balancer policy %q (registered: %s)",
+				n, strings.Join(Names(), ", "))
+		}
+		out[i] = p
+	}
+	return out, nil
+}

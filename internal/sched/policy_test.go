@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+
+	"ampom/internal/prng"
+	"ampom/internal/simtime"
+)
+
+func TestRegistrySortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("registry names not sorted: %v", names)
+	}
+	for _, want := range []string{NameNoMigration, NameOpenMosix, NameAMPoM, NameLoadVector, NameMemUsher} {
+		p, ok := Lookup(want)
+		if !ok {
+			t.Fatalf("built-in policy %q not registered", want)
+		}
+		if p.Name() != want {
+			t.Fatalf("policy registered under %q names itself %q", want, p.Name())
+		}
+	}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All returned %d policies for %d names", len(all), len(names))
+	}
+	for i, p := range all {
+		if p.Name() != names[i] {
+			t.Fatalf("All()[%d] = %q, want %q", i, p.Name(), names[i])
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	if err := Register(AMPoMPolicy); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := Register(badName{}); err == nil {
+		t.Fatal("empty-name registration accepted")
+	}
+}
+
+type badName struct{ noMigration }
+
+func (badName) Name() string { return "" }
+
+func TestByNames(t *testing.T) {
+	pols, err := ByNames([]string{NameAMPoM, NameNoMigration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pols[0].Name() != NameAMPoM || pols[1].Name() != NameNoMigration {
+		t.Fatal("ByNames lost input order")
+	}
+	if _, err := ByNames([]string{"bogus"}); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+}
+
+// view builds a small test cluster view.
+func view(loads []int) View {
+	v := View{
+		Nodes:         make([]NodeView, len(loads)),
+		BandwidthBps:  11.36e6,
+		CostThreshold: 1.25,
+	}
+	for i, n := range loads {
+		v.Nodes[i] = NodeView{Procs: n, CPUScale: 1, Load: float64(n), CapacityMB: 1024}
+	}
+	return v
+}
+
+func TestCostModelsOrdered(t *testing.T) {
+	omF, omE := OpenMosixPolicy.MigrationCost(192, 0.5, 11.36e6)
+	amF, amE := AMPoMPolicy.MigrationCost(192, 0.5, 11.36e6)
+	if amF >= omF/5 {
+		t.Fatalf("lightweight freeze %v not ≪ full-copy %v", amF, omF)
+	}
+	if omE != 0 {
+		t.Fatal("full copy owes no post-resume work")
+	}
+	if amE <= 0 {
+		t.Fatal("lightweight must charge remote paging")
+	}
+	if f, e := NoMigrationPolicy.MigrationCost(192, 0.5, 11.36e6); f != 0 || e != 0 {
+		t.Fatal("no-migration charges a cost")
+	}
+}
+
+func TestClassicPoliciesTargetLeastLoaded(t *testing.T) {
+	v := view([]int{9, 1, 4, 0})
+	p := ProcView{Node: 0, Remaining: 30 * simtime.Second, FootprintMB: 64, WorkingSetFrac: 0.5}
+	dest, ok := AMPoMPolicy.ShouldMigrate(v, p)
+	if !ok || dest != 3 {
+		t.Fatalf("AMPoM chose (%d, %v), want node 3", dest, ok)
+	}
+	// A short job fails the cost-benefit rule under the expensive model.
+	short := ProcView{Node: 0, Remaining: 10 * simtime.Millisecond, FootprintMB: 512, WorkingSetFrac: 0.5}
+	if _, ok := OpenMosixPolicy.ShouldMigrate(v, short); ok {
+		t.Fatal("openMosix migrated a job far cheaper to finish in place")
+	}
+	// No gap, no migration.
+	if _, ok := AMPoMPolicy.ShouldMigrate(view([]int{2, 2, 2}), p); ok {
+		t.Fatal("migrated on a balanced cluster")
+	}
+}
+
+func TestLoadVectorSeesOnlyASample(t *testing.T) {
+	// With a deterministic stream, the sampled vector decides; the policy
+	// must stay inside the view's node range and beat the source's load.
+	v := view([]int{12, 0, 0, 0, 0, 0, 0, 0})
+	v.Rand = prng.New(3)
+	p := ProcView{Node: 0, Remaining: 30 * simtime.Second, FootprintMB: 64, WorkingSetFrac: 0.5}
+	migrated := 0
+	for i := 0; i < 50; i++ {
+		dest, ok := LoadVectorPolicy.ShouldMigrate(v, p)
+		if !ok {
+			continue
+		}
+		migrated++
+		if dest <= 0 || dest >= len(v.Nodes) {
+			t.Fatalf("destination %d out of range", dest)
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("load-vector policy never migrated off a 12-proc node")
+	}
+	// Without a stream it degenerates to full knowledge.
+	v.Rand = nil
+	if dest, ok := LoadVectorPolicy.ShouldMigrate(v, p); !ok || dest != 1 {
+		t.Fatalf("nil-stream fallback chose (%d, %v), want node 1", dest, ok)
+	}
+}
+
+func TestMemUsherMovesOnPressureOnly(t *testing.T) {
+	v := view([]int{4, 4, 4})
+	p := ProcView{Node: 0, Remaining: 10 * simtime.Second, FootprintMB: 128, WorkingSetFrac: 0.5}
+	// No pressure: inert, whatever the CPU loads say.
+	if _, ok := MemUsherPolicy.ShouldMigrate(v, p); ok {
+		t.Fatal("ushered without memory pressure")
+	}
+	// Source past the high-water mark: usher to the freest node with room.
+	v.Nodes[0].UsedMemMB = 1000
+	v.Nodes[1].UsedMemMB = 500
+	v.Nodes[2].UsedMemMB = 100
+	dest, ok := MemUsherPolicy.ShouldMigrate(v, p)
+	if !ok || dest != 2 {
+		t.Fatalf("usher chose (%d, %v), want node 2", dest, ok)
+	}
+	// No destination under the low-water mark: hold.
+	v.Nodes[1].UsedMemMB = 900
+	v.Nodes[2].UsedMemMB = 900
+	if _, ok := MemUsherPolicy.ShouldMigrate(v, p); ok {
+		t.Fatal("ushered onto an already-pressured destination")
+	}
+}
+
+func TestFreezePayloadSizes(t *testing.T) {
+	s, ok := OpenMosixPolicy.(FreezePayloadSizer)
+	if !ok {
+		t.Fatal("openMosix must size its full-copy freeze payload")
+	}
+	if got := s.FreezePayloadBytes(100); got < 100e6 {
+		t.Fatalf("full-copy payload %d below the footprint", got)
+	}
+	if _, ok := AMPoMPolicy.(FreezePayloadSizer); ok {
+		t.Fatal("AMPoM should use the default lightweight payload")
+	}
+}
+
+func TestViewHelpersDeterministic(t *testing.T) {
+	v := view([]int{3, 5, 5, 1, 1})
+	if v.LeastLoaded() != 3 {
+		t.Fatalf("least loaded = %d, want 3 (lowest index on ties)", v.LeastLoaded())
+	}
+	order := v.NodesByLoad()
+	want := []int{1, 2, 0, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("NodesByLoad = %v, want %v", order, want)
+		}
+	}
+}

@@ -4,26 +4,36 @@
 // dramatically decreased."
 //
 // It simulates a small cluster running processor-sharing nodes with a
-// periodic load balancer. The balancer only migrates a job when the job's
-// expected remaining work justifies the migration cost (the conservatism of
-// Harchol-Balter & Downey, the paper's [10]); because AMPoM's cost model is
-// orders of magnitude cheaper than openMosix's copy-everything freeze, the
-// same rule fires far more often — the "more aggressive migrations" the
-// paper predicts — and mean slowdown drops.
+// periodic load balancer. The balancer is a pluggable BalancerPolicy (see
+// policy.go): the classic cost-benefit policies only migrate a job when the
+// job's expected remaining work justifies the migration cost (the
+// conservatism of Harchol-Balter & Downey, the paper's [10]); because
+// AMPoM's cost model is orders of magnitude cheaper than openMosix's
+// copy-everything freeze, the same rule fires far more often — the "more
+// aggressive migrations" the paper predicts — and mean slowdown drops. The
+// probabilistic load-vector and memory-ushering policies model the
+// dissemination and memory-pressure behaviours openMosix farms tuned in
+// practice.
 package sched
 
 import (
 	"fmt"
 
-	"ampom/internal/memory"
 	"ampom/internal/prng"
 	"ampom/internal/simtime"
 )
 
-// Policy selects the migration cost model the balancer charges.
+// Policy is the closed v1 policy enum.
+//
+// Deprecated: the balancer surface is the open BalancerPolicy interface
+// plus the registry (Register, Lookup, Names, All). Policy remains only so
+// v1 callers keep compiling; convert with Balancer().
 type Policy uint8
 
-// Balancer policies.
+// The v1 balancer policies.
+//
+// Deprecated: use NoMigrationPolicy, OpenMosixPolicy and AMPoMPolicy (or
+// the registry) instead.
 const (
 	// NoMigration never migrates; the imbalance persists.
 	NoMigration Policy = iota
@@ -40,14 +50,34 @@ const (
 func (p Policy) String() string {
 	switch p {
 	case NoMigration:
-		return "no-migration"
+		return NameNoMigration
 	case OpenMosixCost:
-		return "openMosix"
+		return NameOpenMosix
 	case AMPoMCost:
-		return "AMPoM"
+		return NameAMPoM
 	default:
 		return fmt.Sprintf("Policy(%d)", uint8(p))
 	}
+}
+
+// Balancer converts the v1 enum to its registered BalancerPolicy.
+func (p Policy) Balancer() BalancerPolicy {
+	switch p {
+	case OpenMosixCost:
+		return OpenMosixPolicy
+	case AMPoMCost:
+		return AMPoMPolicy
+	default:
+		return NoMigrationPolicy
+	}
+}
+
+// MigrationCost is the v1 cost-model entry point.
+//
+// Deprecated: call MigrationCost on a BalancerPolicy (or FullCopyCost /
+// LightweightCost directly).
+func MigrationCost(policy Policy, footprintMB int64, wsFrac, bandwidthBps float64) (freeze, extra simtime.Duration) {
+	return policy.Balancer().MigrationCost(footprintMB, wsFrac, bandwidthBps)
 }
 
 // Config describes the cluster and workload.
@@ -62,6 +92,10 @@ type Config struct {
 	MeanCompute simtime.Duration
 	// MeanFootprintMB is the mean process footprint. Default 192 MB.
 	MeanFootprintMB int64
+	// NodeMemMB is each node's physical memory — the capacity the
+	// memory-ushering policy balances against. Default: four balanced
+	// shares of the mean footprint (4 × Jobs/Nodes × MeanFootprintMB).
+	NodeMemMB int64
 	// WorkingSetFrac is the fraction of the footprint a migrant touches
 	// after migration (paper §5.6 motivates < 1). Default 0.5.
 	WorkingSetFrac float64
@@ -96,6 +130,10 @@ func (c Config) withDefaults() Config {
 	if c.MeanFootprintMB == 0 {
 		c.MeanFootprintMB = 192
 	}
+	if c.NodeMemMB == 0 {
+		perNode := int64((c.Jobs + c.Nodes - 1) / c.Nodes)
+		c.NodeMemMB = 4 * perNode * c.MeanFootprintMB
+	}
 	if c.WorkingSetFrac == 0 {
 		c.WorkingSetFrac = 0.5
 	}
@@ -128,7 +166,8 @@ type job struct {
 
 // Stats summarises one simulation.
 type Stats struct {
-	Policy        Policy
+	// Policy is the balancer policy's registry name.
+	Policy        string
 	Makespan      simtime.Duration
 	MeanSlowdown  float64 // (completion − arrival)/demand averaged over jobs
 	Migrations    int
@@ -143,9 +182,12 @@ const tick = 20 * simtime.Millisecond
 // Simulate runs the study under one policy and returns its statistics.
 // All jobs arrive at t = 0 with placement skewed onto node 0, modelling a
 // burst landing on one entry node — the classic openMosix scenario.
-func Simulate(cfg Config, policy Policy) Stats {
+func Simulate(cfg Config, pol BalancerPolicy) Stats {
 	cfg = cfg.withDefaults()
 	rng := prng.New(cfg.Seed)
+	// The policy-decision stream is separate from the workload stream, so
+	// probabilistic policies see the identical workload the others do.
+	brand := prng.New(cfg.Seed ^ 0x62616c616e636572) // "balancer"
 
 	jobs := make([]*job, cfg.Jobs)
 	for i := range jobs {
@@ -162,9 +204,10 @@ func Simulate(cfg Config, policy Policy) Stats {
 		jobs[i].demand = jobs[i].remaining
 	}
 
-	st := Stats{Policy: policy}
+	st := Stats{Policy: pol.Name()}
 	now := simtime.Time(0)
 	sinceBalance := simtime.Duration(0)
+	balances := pol.Name() != BaselineName
 
 	for {
 		// Node populations (runnable jobs only).
@@ -203,11 +246,11 @@ func Simulate(cfg Config, policy Policy) Stats {
 		now = now.Add(tick)
 		sinceBalance += tick
 
-		// Balance: up to one migration per node pair per round.
-		if policy != NoMigration && sinceBalance >= cfg.BalancePeriod {
+		// Balance: up to one migration per node per round.
+		if balances && sinceBalance >= cfg.BalancePeriod {
 			sinceBalance = 0
 			for i := 0; i < cfg.Nodes; i++ {
-				if !balance(cfg, policy, jobs, &st) {
+				if !balance(cfg, pol, jobs, brand, &st) {
 					break
 				}
 			}
@@ -223,97 +266,72 @@ func Simulate(cfg Config, policy Policy) Stats {
 	return st
 }
 
-// migrationCost returns (freeze, extraWork) for moving job j under policy.
-func migrationCost(cfg Config, policy Policy, j *job) (freeze, extra simtime.Duration) {
-	return MigrationCost(policy, j.footprint, cfg.WorkingSetFrac, cfg.BandwidthBps)
-}
-
-// MigrationCost is the balancer's cost model: the freeze duration and the
-// post-resume remote-paging work that migrating a process of footprintMB
-// costs under policy, at bandwidthBps of available interconnect bandwidth,
-// when wsFrac of the footprint is touched after the move. Exported so the
-// cluster scenario engine charges the same cost-benefit rule this package's
-// §7 study uses.
-func MigrationCost(policy Policy, footprintMB int64, wsFrac, bandwidthBps float64) (freeze, extra simtime.Duration) {
-	bytes := float64(footprintMB) * 1e6
-	switch policy {
-	case OpenMosixCost:
-		// All dirty pages move during the freeze.
-		return simtime.FromSeconds(bytes/bandwidthBps) + 65*simtime.Millisecond, 0
-	case AMPoMCost:
-		// Three pages + the 6 B/page MPT move at freeze; the working set is
-		// remote-paged during execution (additive, per the Figure 6
-		// finding that prefetching amortises round trips but transfer time
-		// adds to compute).
-		pages := bytes / float64(memory.PageSize)
-		mptBytes := pages * memory.PTEntrySize
-		freeze = simtime.FromSeconds(mptBytes/bandwidthBps) +
-			simtime.Duration(pages*3)*simtime.Microsecond + 65*simtime.Millisecond
-		extra = simtime.FromSeconds(bytes * wsFrac / bandwidthBps)
-		return freeze, extra
-	default:
-		return 0, 0
+// makeView assembles the policy's picture of the cluster.
+func makeView(cfg Config, jobs []*job, rand *prng.Source) View {
+	v := View{
+		Nodes:         make([]NodeView, cfg.Nodes),
+		BandwidthBps:  cfg.BandwidthBps,
+		CostThreshold: cfg.CostThreshold,
+		Rand:          rand,
 	}
-}
-
-// balance migrates one job from the most to the least loaded node when the
-// cost-benefit rule justifies it, reporting whether a migration happened.
-func balance(cfg Config, policy Policy, jobs []*job, st *Stats) bool {
-	counts := make([]int, cfg.Nodes)
+	for i := range v.Nodes {
+		v.Nodes[i].CPUScale = 1
+		v.Nodes[i].CapacityMB = cfg.NodeMemMB
+	}
 	for _, j := range jobs {
-		if !j.done {
-			counts[j.node]++
-		}
-	}
-	src, dst := 0, 0
-	for n := range counts {
-		if counts[n] > counts[src] {
-			src = n
-		}
-		if counts[n] < counts[dst] {
-			dst = n
-		}
-	}
-	if counts[src]-counts[dst] < 2 {
-		return false
-	}
-
-	// Candidate: the job on src with the most remaining work (its lifetime
-	// best justifies the cost, following [10]).
-	var cand *job
-	for _, j := range jobs {
-		if j.done || j.node != src || j.frozenFor > 0 {
+		if j.done {
 			continue
 		}
-		if cand == nil || j.remaining > cand.remaining {
-			cand = j
+		v.Nodes[j.node].Procs++
+		v.Nodes[j.node].UsedMemMB += j.footprint
+	}
+	for i := range v.Nodes {
+		v.Nodes[i].Load = float64(v.Nodes[i].Procs)
+	}
+	return v
+}
+
+// candidatesOn returns up to MaxCandidates runnable jobs on node, longest
+// remaining demand first (lifetime best justifies the cost, following
+// [10]), ties broken by ascending id.
+func candidatesOn(jobs []*job, node int) []*job {
+	return TopCandidates(jobs,
+		func(j *job) bool { return !j.done && j.frozenFor == 0 && j.node == node },
+		func(j *job) simtime.Duration { return j.remaining })
+}
+
+// balance offers the policy one candidate at a time — most loaded nodes
+// first, longest remaining demand first — and executes the first migration
+// it accepts, reporting whether one happened.
+func balance(cfg Config, pol BalancerPolicy, jobs []*job, rand *prng.Source, st *Stats) bool {
+	v := makeView(cfg, jobs, rand)
+	for _, src := range v.NodesByLoad() {
+		for _, j := range candidatesOn(jobs, src) {
+			pv := ProcView{
+				ID:             j.id,
+				Node:           src,
+				Remaining:      j.remaining,
+				FootprintMB:    j.footprint,
+				WorkingSetFrac: cfg.WorkingSetFrac,
+			}
+			dest, ok := pol.ShouldMigrate(v, pv)
+			if !ok || dest == src || dest < 0 || dest >= cfg.Nodes {
+				continue
+			}
+			freeze, extra := pol.MigrationCost(j.footprint, cfg.WorkingSetFrac, cfg.BandwidthBps)
+			j.node = dest
+			// Remote-paging stalls are network waits, not CPU work: the job
+			// is unavailable while its working set streams in, but the target
+			// CPU keeps serving other jobs — the essential difference from
+			// openMosix's monolithic freeze is that this stall is
+			// working-set-sized, not footprint-sized.
+			j.frozenFor = freeze + extra
+			st.Migrations++
+			st.ExtraWork += extra
+			return true
 		}
 	}
-	if cand == nil {
-		return false
-	}
-	freeze, extra := migrationCost(cfg, policy, cand)
-	// Cost-benefit rule: estimated completion staying put (processor
-	// sharing on src) versus migrating (freeze, remote-paging stalls,
-	// sharing on dst). Migrate only on a clear win — the safety factor is
-	// where the paper's "aggressive vs conservative" trade-off lives: a
-	// cheap freeze makes far more candidate moves clear the bar.
-	stay := float64(cand.remaining) * float64(counts[src])
-	move := float64(freeze+extra) + float64(cand.remaining)*float64(counts[dst]+1)
-	if stay < cfg.CostThreshold*move {
-		return false
-	}
-	cand.node = dst
-	// Remote-paging stalls are network waits, not CPU work: the job is
-	// unavailable while its working set streams in (our DES shows the
-	// fetch-in is network-bound up front), but the target CPU keeps
-	// serving other jobs — the essential difference from openMosix's
-	// monolithic freeze is that this stall is working-set-sized, not
-	// footprint-sized.
-	cand.frozenFor = freeze + extra
-	st.Migrations++
-	st.ExtraWork += extra
-	return true
+	return false
 }
 
 func min(a, b simtime.Duration) simtime.Duration {
@@ -323,12 +341,16 @@ func min(a, b simtime.Duration) simtime.Duration {
 	return b
 }
 
-// Compare runs all three policies on the same workload and returns their
-// statistics, in the order NoMigration, OpenMosixCost, AMPoMCost.
-func Compare(cfg Config) [3]Stats {
-	return [3]Stats{
-		Simulate(cfg, NoMigration),
-		Simulate(cfg, OpenMosixCost),
-		Simulate(cfg, AMPoMCost),
+// Compare runs each policy on the same workload and returns one Stats per
+// policy, in argument order. With no policies it runs every registered
+// policy in registry-sorted order.
+func Compare(cfg Config, pols ...BalancerPolicy) []Stats {
+	if len(pols) == 0 {
+		pols = All()
 	}
+	out := make([]Stats, len(pols))
+	for i, p := range pols {
+		out[i] = Simulate(cfg, p)
+	}
+	return out
 }

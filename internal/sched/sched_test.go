@@ -8,7 +8,10 @@ import (
 
 func TestPolicyString(t *testing.T) {
 	if NoMigration.String() != "no-migration" || OpenMosixCost.String() != "openMosix" || AMPoMCost.String() != "AMPoM" {
-		t.Fatal("policy names wrong")
+		t.Fatal("legacy policy names wrong")
+	}
+	if NoMigration.Balancer().Name() != BaselineName {
+		t.Fatal("legacy conversion broken")
 	}
 }
 
@@ -17,16 +20,22 @@ func TestDefaults(t *testing.T) {
 	if c.Nodes != 8 || c.Jobs != 64 || c.CostThreshold != 1.25 {
 		t.Fatalf("defaults = %+v", c)
 	}
+	if c.NodeMemMB != 4*8*192 {
+		t.Fatalf("node memory default = %d", c.NodeMemMB)
+	}
 }
 
 func TestSimulationCompletes(t *testing.T) {
-	for _, p := range []Policy{NoMigration, OpenMosixCost, AMPoMCost} {
+	for _, p := range All() {
 		st := Simulate(Config{Jobs: 16, Nodes: 4}, p)
+		if st.Policy != p.Name() {
+			t.Fatalf("stats labelled %q, want %q", st.Policy, p.Name())
+		}
 		if st.Makespan <= 0 {
-			t.Fatalf("%v: makespan %v", p, st.Makespan)
+			t.Fatalf("%v: makespan %v", p.Name(), st.Makespan)
 		}
 		if st.MeanSlowdown < 1 {
-			t.Fatalf("%v: slowdown %v < 1", p, st.MeanSlowdown)
+			t.Fatalf("%v: slowdown %v < 1", p.Name(), st.MeanSlowdown)
 		}
 	}
 }
@@ -35,8 +44,9 @@ func TestSimulationCompletes(t *testing.T) {
 // migrations the same lifetime rule fires more often and the cluster
 // balances better.
 func TestAMPoMEnablesAggressiveMigration(t *testing.T) {
-	res := Compare(Config{})
-	none, om, am := res[0], res[1], res[2]
+	none := Simulate(Config{}, NoMigrationPolicy)
+	om := Simulate(Config{}, OpenMosixPolicy)
+	am := Simulate(Config{}, AMPoMPolicy)
 
 	if am.Migrations <= om.Migrations {
 		t.Fatalf("AMPoM migrations %d not above openMosix's %d (aggressiveness lost)",
@@ -54,8 +64,8 @@ func TestAMPoMEnablesAggressiveMigration(t *testing.T) {
 }
 
 func TestFreezeTimeCharged(t *testing.T) {
-	om := Simulate(Config{}, OpenMosixCost)
-	am := Simulate(Config{}, AMPoMCost)
+	om := Simulate(Config{}, OpenMosixPolicy)
+	am := Simulate(Config{}, AMPoMPolicy)
 	if om.Migrations > 0 && om.FrozenTotal <= 0 {
 		t.Fatal("openMosix migrations charged no freeze time")
 	}
@@ -75,19 +85,22 @@ func TestFreezeTimeCharged(t *testing.T) {
 }
 
 func TestNoMigrationPolicyIsInert(t *testing.T) {
-	st := Simulate(Config{}, NoMigration)
+	st := Simulate(Config{}, NoMigrationPolicy)
 	if st.Migrations != 0 || st.FrozenTotal != 0 || st.ExtraWork != 0 {
 		t.Fatalf("no-migration policy acted: %+v", st)
 	}
 }
 
 func TestDeterministic(t *testing.T) {
-	a := Simulate(Config{Seed: 5}, AMPoMCost)
-	b := Simulate(Config{Seed: 5}, AMPoMCost)
-	if a != b {
-		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	for _, p := range All() {
+		a := Simulate(Config{Seed: 5}, p)
+		b := Simulate(Config{Seed: 5}, p)
+		if a != b {
+			t.Fatalf("%v: same seed diverged: %+v vs %+v", p.Name(), a, b)
+		}
 	}
-	c := Simulate(Config{Seed: 6}, AMPoMCost)
+	a := Simulate(Config{Seed: 5}, AMPoMPolicy)
+	c := Simulate(Config{Seed: 6}, AMPoMPolicy)
 	if a.Makespan == c.Makespan && a.Migrations == c.Migrations {
 		t.Fatal("different seeds produced identical studies")
 	}
@@ -95,9 +108,22 @@ func TestDeterministic(t *testing.T) {
 
 func TestBalancedClusterMigratesLittle(t *testing.T) {
 	// With no skew the cluster starts balanced; few migrations should fire.
-	skewed := Simulate(Config{}, AMPoMCost)
-	flat := Simulate(Config{Skew: 1e-9}, AMPoMCost)
+	skewed := Simulate(Config{}, AMPoMPolicy)
+	flat := Simulate(Config{Skew: 1e-9}, AMPoMPolicy)
 	if flat.Migrations >= skewed.Migrations {
 		t.Fatalf("balanced start migrated %d, skewed %d", flat.Migrations, skewed.Migrations)
+	}
+}
+
+func TestCompareDefaultsToRegistry(t *testing.T) {
+	res := Compare(Config{Jobs: 16, Nodes: 4})
+	names := Names()
+	if len(res) != len(names) {
+		t.Fatalf("Compare returned %d stats for %d registered policies", len(res), len(names))
+	}
+	for i, st := range res {
+		if st.Policy != names[i] {
+			t.Fatalf("row %d is %q, want registry order %q", i, st.Policy, names[i])
+		}
 	}
 }
