@@ -1,14 +1,15 @@
 # Developer/CI entry points. `make ci` is the gate: formatting, vet, build,
 # the full test suite, the race detector over the concurrent campaign
 # engine, the binary smoke tests, a short fuzz pass over the AMPoM
-# prefetcher, the trace combinators and the scenario spec codec, and one
-# bench-balance iteration so policy-dispatch overhead is tracked.
+# prefetcher, the trace combinators and the scenario spec codec, one
+# bench-balance iteration so policy-dispatch overhead is tracked, and one
+# bench-fabric iteration asserting the 512-node preset's event budget.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race examples-smoke fuzz-smoke bench bench-campaign bench-scenario bench-balance
+.PHONY: ci fmt-check vet build test race examples-smoke fuzz-smoke bench bench-campaign bench-scenario bench-balance bench-fabric
 
-ci: fmt-check vet build test race examples-smoke fuzz-smoke bench-balance
+ci: fmt-check vet build test race examples-smoke fuzz-smoke bench-balance bench-fabric
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -56,6 +57,13 @@ bench-scenario:
 # registry is tracked per PR.
 bench-balance:
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicySweep$$' -benchtime 1x .
+
+# BenchmarkFabric512 runs the 512-node / 2048-process rack-farm preset on
+# the two-tier switched fabric with gossip dissemination, and FAILS if any
+# policy's events-per-simulated-second exceeds the fixed budget — the
+# scale-out regression gate.
+bench-fabric:
+	$(GO) test -run '^$$' -bench '^BenchmarkFabric512$$' -benchtime 1x .
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

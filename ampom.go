@@ -22,6 +22,7 @@ import (
 	"ampom/internal/campaign"
 	"ampom/internal/core"
 	"ampom/internal/emu"
+	"ampom/internal/fabric"
 	"ampom/internal/harness"
 	"ampom/internal/hpcc"
 	"ampom/internal/memory"
@@ -214,6 +215,7 @@ const (
 	PolicyMemUsher    = sched.NameMemUsher
 	PolicyNoMigration = sched.NameNoMigration
 	PolicyOpenMosix   = sched.NameOpenMosix
+	PolicyQueueGossip = sched.NameQueueGossip
 )
 
 // RegisterBalancerPolicy adds a policy to the registry; registered
@@ -295,7 +297,31 @@ type (
 	// ScenarioJob wraps a scenario as a campaign job (fingerprinted,
 	// single-flight, parallel-safe) for CampaignEngine.RunScenario(s).
 	ScenarioJob = campaign.ScenarioJob
+	// ScenarioFabric selects a scenario's interconnect topology (star,
+	// two-tier, flat) and gossip dissemination parameters.
+	ScenarioFabric = scenario.FabricSpec
+	// FabricTopology names an interconnect topology.
+	FabricTopology = fabric.Kind
+	// FabricTierStats is one interconnect tier's utilisation row of a
+	// scenario report (switched fabrics only).
+	FabricTierStats = fabric.TierStats
 )
+
+// The built-in fabric topologies: the legacy single-hub star (the default,
+// with paired infod daemons), the switched two-tier rack fabric and the
+// flat full-bisection fabric (both monitored by decentralised gossip).
+const (
+	FabricStar    = fabric.KindStar
+	FabricTwoTier = fabric.KindTwoTier
+	FabricFlat    = fabric.KindFlat
+)
+
+// FabricTopologyNames lists the built-in topology names.
+func FabricTopologyNames() []string { return fabric.KindNames() }
+
+// ParseFabricTopology resolves a topology name ("star", "two-tier",
+// "flat"); the empty string is the star default.
+func ParseFabricTopology(s string) (FabricTopology, error) { return fabric.ParseKind(s) }
 
 // The scenario reference mixes.
 const (
@@ -347,6 +373,26 @@ func ScenarioReportsJSON(reports []*ScenarioReport) ([]byte, error) {
 // ScenarioReportsCSV renders a batch of reports as one CSV document with a
 // single header; the scenario and seed columns distinguish the runs.
 func ScenarioReportsCSV(reports []*ScenarioReport) string { return scenario.ReportsCSV(reports) }
+
+// DecodeScenarioReports parses a JSON report artefact (a single report
+// object or an array) back into reports — the decoding half of the report
+// I/O round trip.
+func DecodeScenarioReports(data []byte) ([]*ScenarioReport, error) {
+	return scenario.DecodeReports(data)
+}
+
+// LoadScenarioReports reads a saved report artefact from disk.
+func LoadScenarioReports(path string) ([]*ScenarioReport, error) { return scenario.LoadReports(path) }
+
+// DiffScenarioReports compares two report artefacts and returns one line
+// per divergence; empty means the recorded runs are identical. Saved
+// artefacts thereby become regression gates (ampom-cluster -diff).
+func DiffScenarioReports(a, b []byte) ([]string, error) { return scenario.DiffReportsData(a, b) }
+
+// DiffScenarioReportFiles compares two saved report artefacts by path.
+func DiffScenarioReportFiles(pathA, pathB string) ([]string, error) {
+	return scenario.DiffReportFiles(pathA, pathB)
+}
 
 // LiveProgramFor drains the scenario mix's page-reference trace into a live
 // emulation program over the given footprint: the simulated scenarios and

@@ -177,6 +177,74 @@ func TestFacadePolicyRegistry(t *testing.T) {
 	}
 }
 
+// TestFacadeFabric drives the fabric surface: topology parsing, the
+// ScenarioFabric spec block, a switched-fabric run with tier stats and the
+// queue-gossip policy, and the report decode/diff round trip.
+func TestFacadeFabric(t *testing.T) {
+	if _, ok := LookupBalancerPolicy(PolicyQueueGossip); !ok {
+		t.Fatalf("built-in policy %q missing", PolicyQueueGossip)
+	}
+	names := FabricTopologyNames()
+	if len(names) != 3 {
+		t.Fatalf("topologies %v, want star/two-tier/flat", names)
+	}
+	k, err := ParseFabricTopology("two-tier")
+	if err != nil || k != FabricTwoTier {
+		t.Fatalf("ParseFabricTopology = %v, %v", k, err)
+	}
+	if _, err := ParseFabricTopology("hypercube"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+
+	spec := ScenarioSpec{
+		Name: "facade-fabric", Nodes: 8, Procs: 24,
+		Policies: []string{PolicyAMPoM, PolicyQueueGossip},
+		Fabric:   ScenarioFabric{Topology: FabricTwoTier, RackSize: 4},
+	}
+	rep, err := RunScenario(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, ok := rep.Scheme(PolicyAMPoM)
+	if !ok || len(am.TierUse) != 2 {
+		t.Fatalf("two-tier run carries tiers %+v", am.TierUse)
+	}
+
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeScenarioReports(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Seed != rep.Seed {
+		t.Fatalf("report decode round trip lost the run: %+v", back)
+	}
+	diffs, err := DiffScenarioReports(js, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("identical artefacts diverged: %v", diffs)
+	}
+	other, err := RunScenario(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oj, err := other.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err = DiffScenarioReports(js, oj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("different-seed artefacts compared equal")
+	}
+}
+
 // TestFacadeScenarioSpecIO round-trips a spec and a report through the
 // facade's I/O surface.
 func TestFacadeScenarioSpecIO(t *testing.T) {

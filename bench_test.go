@@ -338,6 +338,59 @@ func BenchmarkPolicySweep(b *testing.B) {
 	}
 }
 
+// fabric512EventBudget caps the rack-farm preset's event rate: the 512-node
+// two-tier scenario must stay under this many engine events per simulated
+// second, per policy. The gossip plane is the scaling hazard the budget
+// polices — N daemons × fanout pushes per period, each crossing up to four
+// store-and-forward hops — so a regression that floods the fabric (higher
+// effective fanout, per-hop retransmits, runaway relays) trips the gate
+// long before wall-clock noise would. Measured headroom at the time the
+// gate was set: ~3.3k events/sim-s against the 24k budget.
+const fabric512EventBudget = 24_000
+
+// BenchmarkFabric512 runs the 512-node / 2048-process rack-farm preset
+// (two-tier switched fabric, gossip dissemination) end to end and asserts
+// the event budget (`make bench-fabric`, part of `make ci`). The policy
+// set is trimmed to the baseline, the headline policy and the gossip
+// consumer so the CI gate stays minutes-scale; the budget applies to every
+// row.
+func BenchmarkFabric512(b *testing.B) {
+	spec, err := ScenarioPreset("rack-farm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if spec.Nodes != 512 || spec.Procs != 2048 {
+		b.Fatalf("rack-farm is %dn/%dp, want 512/2048", spec.Nodes, spec.Procs)
+	}
+	spec.Policies = []string{PolicyNoMigration, PolicyAMPoM, PolicyQueueGossip}
+	spec = spec.Canonical()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenario(spec, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range rep.Schemes {
+			simSeconds := st.Makespan.Seconds()
+			if simSeconds <= 0 {
+				b.Fatalf("%s: degenerate makespan", st.Policy)
+			}
+			evps := float64(st.Events) / simSeconds
+			if evps > fabric512EventBudget {
+				b.Fatalf("%s: %0.f events/sim-s exceeds the %d budget (%d events over %.1f sim-s)",
+					st.Policy, evps, fabric512EventBudget, st.Events, simSeconds)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(evps, st.Policy+"_ev_per_sim_s")
+			}
+		}
+		if i == b.N-1 {
+			qg, _ := rep.Scheme(PolicyQueueGossip)
+			b.ReportMetric(float64(qg.Migrations), "qg_migrations")
+		}
+	}
+}
+
 // BenchmarkScenarioPresets fans every preset across the campaign worker
 // pool — the ampom-cluster -scenario all path.
 func BenchmarkScenarioPresets(b *testing.B) {

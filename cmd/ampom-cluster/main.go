@@ -1,23 +1,28 @@
 // Command ampom-cluster runs cluster-scale scenarios: declarative
 // multi-node workloads driven end to end through the event engine, the
-// star interconnect with oM_infoD monitoring, the pluggable load-balancer
-// policies and the AMPoM prefetcher.
+// interconnect fabric (star, two-tier or flat) with its oM_infoD
+// monitoring plane, the pluggable load-balancer policies and the AMPoM
+// prefetcher.
 //
 // Usage:
 //
 //	ampom-cluster                          # the hpc-farm preset (64 nodes / 256 procs)
 //	ampom-cluster -scenario web-churn      # one named preset
 //	ampom-cluster -scenario all -j 4       # every preset across 4 workers
-//	ampom-cluster -list                    # list presets and registered policies
+//	ampom-cluster -list                    # list presets, topologies and policies
 //	ampom-cluster -scenario hpc-farm -nodes 8 -procs 32   # shrink a preset
+//	ampom-cluster -scenario rack-farm                     # 512 nodes, two-tier fabric
+//	ampom-cluster -scenario hpc-farm -fabric two-tier     # override the topology
 //	ampom-cluster -spec farm.json          # run a user-defined spec file
 //	ampom-cluster -policies AMPoM,mem-usher                # restrict the policy set
 //	ampom-cluster -spec farm.json -o report.json           # persist the report
 //	ampom-cluster -scenario web-churn -dump-spec web.json  # write the spec out
+//	ampom-cluster -diff a.json b.json      # compare saved reports (exit 1 on divergence)
 //
 // Scenarios run through the campaign engine: the scenario seed is derived
-// from -seed and the canonical spec fingerprint (policy set included), so
-// any -j value renders byte-identical reports, files included.
+// from -seed and the canonical spec fingerprint (policy set and fabric
+// included), so any -j value renders byte-identical reports, files
+// included.
 package main
 
 import (
@@ -35,13 +40,20 @@ func main() {
 	name := flag.String("scenario", "hpc-farm", "preset scenario to run, or all")
 	specFile := flag.String("spec", "", "run the scenario from this JSON spec file (overrides -scenario)")
 	policies := flag.String("policies", "", "comma-separated balancer policies (default: the spec's set, or every registered policy)")
+	fabricFlag := flag.String("fabric", "", "override the interconnect topology: "+strings.Join(ampom.FabricTopologyNames(), ", "))
 	output := flag.String("o", "", "also write the report(s) to this file (.json or .csv)")
 	dumpSpec := flag.String("dump-spec", "", "write the resolved spec to this JSON file and exit")
-	list := flag.Bool("list", false, "list the preset scenarios and registered policies, then exit")
+	diffMode := flag.Bool("diff", false, "compare two saved report files (JSON) and exit 1 on divergence")
+	list := flag.Bool("list", false, "list the preset scenarios, fabric topologies and registered policies, then exit")
 	nodes := flag.Int("nodes", 0, "override the preset's node count")
 	procs := flag.Int("procs", 0, "override the preset's process count")
 	cf := cli.AddCampaignFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *diffMode {
+		diffReports(flag.Args())
+		return
+	}
 
 	// A bad -o extension is a pure argument mistake: reject it before any
 	// scenario runs, with the usage exit code.
@@ -56,9 +68,10 @@ func main() {
 			if err != nil {
 				cli.Fail("%v", err)
 			}
-			fmt.Printf("%-14s %3d nodes  %4d procs  %s/%s arrivals, %d churn event(s)\n",
-				spec.Name, spec.Nodes, spec.Procs, spec.Arrival, spec.Placement, len(spec.Churn))
+			fmt.Printf("%-14s %3d nodes  %4d procs  %-8s fabric  %s/%s arrivals, %d churn event(s)\n",
+				spec.Name, spec.Nodes, spec.Procs, spec.Fabric.Topology, spec.Arrival, spec.Placement, len(spec.Churn))
 		}
+		fmt.Printf("fabrics: %s\n", strings.Join(ampom.FabricTopologyNames(), ", "))
 		fmt.Printf("policies: %s\n", strings.Join(ampom.BalancerPolicyNames(), ", "))
 		return
 	}
@@ -95,6 +108,15 @@ func main() {
 		}
 		if *policies != "" {
 			specs[i].Policies = cli.PolicyList(*policies)
+		}
+		if *fabricFlag != "" {
+			k, err := ampom.ParseFabricTopology(*fabricFlag)
+			if err != nil {
+				cli.Usage("%v", err)
+			}
+			// Only the topology is overridden; shape and gossip parameters
+			// keep the spec's values (or their canonical defaults).
+			specs[i].Fabric.Topology = k
 		}
 		specs[i] = specs[i].Canonical()
 		if err := specs[i].Validate(); err != nil {
@@ -142,6 +164,25 @@ func main() {
 		}
 	}
 	cli.Exit(exitCode)
+}
+
+// diffReports compares two saved report artefacts and exits 1 when the
+// recorded runs diverge — the regression-gate mode.
+func diffReports(args []string) {
+	if len(args) != 2 {
+		cli.Usage("-diff needs exactly two report files, have %d", len(args))
+	}
+	diffs, err := ampom.DiffScenarioReportFiles(args[0], args[1])
+	cli.Check(err)
+	if len(diffs) == 0 {
+		fmt.Printf("reports identical: %s == %s\n", args[0], args[1])
+		return
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	cli.Errorf("%d divergence(s) between %s and %s", len(diffs), args[0], args[1])
+	cli.Exit(cli.CodeFail)
 }
 
 // writeReports persists the healthy reports to path; the extension picks

@@ -16,7 +16,8 @@ import (
 func TestSmokeList(t *testing.T) {
 	out := clitest.Run(t, "-list")
 	for _, want := range []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks",
-		"no-migration", "load-vector", "mem-usher"} {
+		"rack-farm", "gossip-mesh", "two-tier", "flat",
+		"no-migration", "load-vector", "mem-usher", "queue-gossip"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("%q missing from -list:\n%s", want, out)
 		}
@@ -136,6 +137,73 @@ func TestSpecReportRoundTrip(t *testing.T) {
 		if !got[want] {
 			t.Fatalf("report missing new policy %q (have %v)", want, got)
 		}
+	}
+}
+
+// TestSmokeFabricOverride drives the rack-farm shape at test scale: the
+// -fabric override is honoured, the report carries tier rows, and equal
+// seeds render byte-identically across worker counts (the acceptance
+// property of `-scenario rack-farm -fabric two-tier -j 8`).
+func TestSmokeFabricOverride(t *testing.T) {
+	args := []string{"-scenario", "rack-farm", "-nodes", "16", "-procs", "64",
+		"-fabric", "two-tier", "-seed", "3"}
+	out := clitest.Run(t, append([]string{}, append(args, "-j", "1")...)...)
+	for _, want := range []string{"scenario rack-farm", "tiers[", "edge", "core", "queue-gossip"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("two-tier report missing %q:\n%s", want, out)
+		}
+	}
+	if out8 := clitest.Run(t, append([]string{}, append(args, "-j", "8")...)...); out8 != out {
+		t.Fatalf("-j 1 and -j 8 rendered different rack-farm reports")
+	}
+	// The flat override drops the core tier; the star drops tiers outright.
+	flat := clitest.Run(t, "-scenario", "rack-farm", "-nodes", "16", "-procs", "64",
+		"-fabric", "flat", "-seed", "3")
+	if !strings.Contains(flat, "edge") || strings.Contains(flat, "core") {
+		t.Fatalf("flat report tiers wrong:\n%s", flat)
+	}
+	star := clitest.Run(t, "-scenario", "rack-farm", "-nodes", "16", "-procs", "64",
+		"-fabric", "star", "-seed", "3")
+	if strings.Contains(star, "tiers[") {
+		t.Fatalf("star report carries tier rows:\n%s", star)
+	}
+}
+
+func TestSmokeUnknownFabricIsUsageError(t *testing.T) {
+	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-scenario", "web-churn", "-fabric", "hypercube")
+	if !strings.Contains(stderr, "unknown topology") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
+// TestDiffReports locks the regression-gate mode: identical artefacts exit
+// 0, diverging ones exit 1 with the divergence named, and bad usage exits 2.
+func TestDiffReports(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	c := filepath.Join(dir, "c.json")
+	base := []string{"-scenario", "web-churn", "-nodes", "4", "-procs", "8", "-j", "1"}
+	clitest.Run(t, append(append([]string{}, base...), "-seed", "5", "-o", a)...)
+	clitest.Run(t, append(append([]string{}, base...), "-seed", "5", "-o", b)...)
+	clitest.Run(t, append(append([]string{}, base...), "-seed", "6", "-o", c)...)
+
+	out := clitest.Run(t, "-diff", a, b)
+	if !strings.Contains(out, "identical") {
+		t.Fatalf("equal artefacts not reported identical:\n%s", out)
+	}
+	out, stderr := clitest.RunExpect(t, cli.CodeFail, "-diff", a, c)
+	if !strings.Contains(out, "seed") {
+		t.Fatalf("divergence lines missing the seed:\n%s", out)
+	}
+	if !strings.Contains(stderr, "divergence") {
+		t.Fatalf("stderr missing the divergence summary:\n%s", stderr)
+	}
+	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "-diff", a); !strings.Contains(stderr, "exactly two") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+	if _, stderr := clitest.RunExpect(t, cli.CodeFail, "-diff", a, filepath.Join(dir, "missing.json")); stderr == "" {
+		t.Fatal("missing file diffed silently")
 	}
 }
 

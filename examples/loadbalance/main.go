@@ -13,6 +13,7 @@
 //	go run ./examples/loadbalance -scenario hpc-farm      # the 64-node preset
 //	go run ./examples/loadbalance -policies AMPoM,openMosix
 //	go run ./examples/loadbalance -spec farm.json         # a saved spec file
+//	go run ./examples/loadbalance -fabric two-tier        # switched fabric + gossip infod
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	preset := flag.String("scenario", "", "run a named preset instead of the demo cluster")
 	specFile := flag.String("spec", "", "run a saved scenario spec file instead of the demo cluster")
 	policies := flag.String("policies", "", "comma-separated balancer policies (default: all registered)")
+	fabricFlag := flag.String("fabric", "", "interconnect topology: star (default), two-tier or flat")
 	seed := flag.Uint64("seed", 42, "scenario seed")
 	flag.Parse()
 
@@ -60,10 +62,17 @@ func main() {
 	}
 	if *policies != "" {
 		spec.Policies = cli.PolicyList(*policies)
-		spec = spec.Canonical()
-		if err := spec.Validate(); err != nil {
+	}
+	if *fabricFlag != "" {
+		k, err := ampom.ParseFabricTopology(*fabricFlag)
+		if err != nil {
 			cli.Usage("%v", err)
 		}
+		spec.Fabric.Topology = k
+	}
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		cli.Usage("%v", err)
 	}
 
 	rep, err := ampom.RunScenario(spec, *seed)

@@ -27,6 +27,16 @@ func TestSmokePolicySubset(t *testing.T) {
 	}
 }
 
+func TestSmokeFabricFlag(t *testing.T) {
+	out := clitest.Run(t, "-fabric", "two-tier", "-policies", "AMPoM")
+	if !strings.Contains(out, "tiers[AMPoM]") || !strings.Contains(out, "core") {
+		t.Fatalf("two-tier demo missing tier stats:\n%s", out)
+	}
+	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "-fabric", "hypercube"); !strings.Contains(stderr, "unknown topology") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
 func TestSmokeUnknownPolicyIsUsageError(t *testing.T) {
 	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-policies", "bogus")
 	if !strings.Contains(stderr, "unknown balancer policy") {

@@ -1,0 +1,227 @@
+// Package fabric models the cluster interconnect topology: how nodes,
+// switches and links are wired, how payloads are routed hop by hop through
+// the netmodel queues along the path, and how the monitoring plane
+// (oM_infoD) disseminates load information across it.
+//
+// Three topologies are built in:
+//
+//   - Star: the historical single-hub interconnect — one spoke link per
+//     node, the hub node relaying spoke-to-spoke payloads, and a paired
+//     infod daemon on each end of every spoke. It is byte-compatible with
+//     the scenario engine's pre-fabric wiring and remains the default.
+//   - TwoTier: a switched multi-rack fabric — per-rack leaf switches,
+//     one core spine, configurable rack size and core oversubscription.
+//     Cross-rack traffic queues on the shared uplinks, so contention is
+//     modelled per link along the path (the "OpenMosix approach to build
+//     scalable HPC farms" shape).
+//   - Flat: a full-bisection single-switch fabric — every pair of nodes
+//     two hops apart with no shared bottleneck beyond the endpoints.
+//
+// Switched topologies replace the paired hub-spoke infod exchange with
+// decentralised gossip (infod.Gossip): each node pushes its load vector to
+// a few random peers per period, entries age as they propagate, and the
+// t0/td estimates AMPoM's Equation 3 consumes are derived per origin from
+// gossip-path timing — so balancer policies see staleness that grows with
+// topology distance.
+//
+// Determinism is inherited from the engine: construction, routing and
+// gossip draw only from PRNG streams derived from the caller's seed, so a
+// fabric is a pure function of (Config, node set).
+package fabric
+
+import (
+	"fmt"
+	"strings"
+
+	"ampom/internal/cluster"
+	"ampom/internal/core"
+	"ampom/internal/infod"
+	"ampom/internal/netmodel"
+	"ampom/internal/sim"
+	"ampom/internal/simtime"
+)
+
+// Kind names an interconnect topology.
+type Kind uint8
+
+// The built-in topologies.
+const (
+	// KindStar is the legacy single-hub star: node 0 relays spoke-to-spoke
+	// traffic and monitoring runs as paired per-spoke daemons.
+	KindStar Kind = iota
+	// KindTwoTier is a switched two-tier fabric: per-rack leaf switches
+	// under an oversubscribed core spine, with gossip-based monitoring.
+	KindTwoTier
+	// KindFlat is a full-bisection single-switch fabric with gossip-based
+	// monitoring.
+	KindFlat
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStar:
+		return "star"
+	case KindTwoTier:
+		return "two-tier"
+	case KindFlat:
+		return "flat"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Kinds lists the built-in topologies in declaration order.
+func Kinds() []Kind { return []Kind{KindStar, KindTwoTier, KindFlat} }
+
+// KindNames lists the topology names Kinds covers.
+func KindNames() []string {
+	ks := Kinds()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// ParseKind resolves a topology name; the empty string is the star default.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	if s == "" {
+		return KindStar, nil
+	}
+	return 0, fmt.Errorf("fabric: unknown topology %q (want %s)", s, strings.Join(KindNames(), ", "))
+}
+
+// Config describes the interconnect of one simulation run. Zero gossip
+// fields take defaults on switched topologies and are ignored on the star.
+type Config struct {
+	// Kind selects the topology.
+	Kind Kind
+	// RackSize is the number of nodes under one leaf switch (two-tier;
+	// default 16).
+	RackSize int
+	// Oversub is the core oversubscription ratio (two-tier; default 4): a
+	// rack's uplink carries RackSize/Oversub node-links' worth of
+	// bandwidth.
+	Oversub float64
+	// GossipFanout is how many random peers each daemon pushes its load
+	// vector to per period (switched topologies; default 2).
+	GossipFanout int
+	// GossipPeriod is the gossip push period (default 2 s — the paired
+	// daemons' historical update period).
+	GossipPeriod simtime.Duration
+	// Network is the per-node link profile; two-tier uplinks scale its
+	// bandwidth by RackSize/Oversub.
+	Network netmodel.Profile
+	// BackgroundLoad is the initial background-load fraction applied to
+	// every node-facing link.
+	BackgroundLoad float64
+	// Seed drives the daemon jitter and gossip peer-selection streams.
+	Seed uint64
+}
+
+// The shape and gossip defaults — the single source scenario's FabricSpec
+// canonicalisation resolves against, so fingerprints and the built fabric
+// can never disagree about what a zero field means.
+const (
+	// DefaultRackSize is the two-tier fabric's nodes-per-leaf default.
+	DefaultRackSize = 16
+	// DefaultOversub is the two-tier core oversubscription default.
+	DefaultOversub = 4
+	// DefaultGossipFanout is the per-period gossip push fanout default.
+	DefaultGossipFanout = 2
+	// DefaultGossipPeriod is the gossip push period default — the paired
+	// daemons' historical update period.
+	DefaultGossipPeriod = 2 * simtime.Second
+)
+
+// withDefaults resolves the zero gossip/topology fields.
+func (c Config) withDefaults() Config {
+	if c.RackSize <= 0 {
+		c.RackSize = DefaultRackSize
+	}
+	if c.Oversub <= 0 {
+		c.Oversub = DefaultOversub
+	}
+	if c.GossipFanout <= 0 {
+		c.GossipFanout = DefaultGossipFanout
+	}
+	if c.GossipPeriod <= 0 {
+		c.GossipPeriod = DefaultGossipPeriod
+	}
+	return c
+}
+
+// TierStats summarises one tier of the interconnect after (or during) a
+// run: how many links it has, their aggregate capacity, and the payload
+// bytes carried across them (every hop counts).
+type TierStats struct {
+	// Name labels the tier ("edge", "core", "star").
+	Name string
+	// Links is the number of physical links in the tier.
+	Links int
+	// CapacityBps is the aggregate capacity across the tier's links in
+	// bytes per second.
+	CapacityBps float64
+	// Bytes is the total payload bytes carried over the tier's links.
+	Bytes int64
+}
+
+// Interconnect is a built, live interconnect serving one simulation run:
+// it owns the links (and switches), routes payloads between nodes, and
+// runs the monitoring plane the balancer's network estimates come from.
+type Interconnect interface {
+	// Kind reports the topology.
+	Kind() Kind
+	// Send routes m from node src to node dst along the topology path.
+	// Delivery is network-paced per hop (store-and-forward through the
+	// netmodel queues); the payload is dispatched to dst's handler chain
+	// when the final hop lands.
+	Send(src, dst int, m netmodel.Message)
+	// ClusterBandwidth is the monitoring plane's conservative estimate of
+	// the bandwidth available to a migration whose endpoints are not yet
+	// known — what balancer policies decide with.
+	ClusterBandwidth() float64
+	// PathBandwidth estimates the bandwidth available on the src→dst path.
+	PathBandwidth(src, dst int) float64
+	// PathEstimates assembles the Eq. 3 inputs (daemon-level RTT, per-page
+	// transfer time) for a migration crossing the src→dst path.
+	PathEstimates(src, dst int) core.Estimates
+	// MeanRTT is the mean daemon-level round-trip (dissemination delay)
+	// estimate across the cluster at the current instant.
+	MeanRTT() simtime.Duration
+	// SetBackgroundLoad sets the background-load fraction of node's
+	// node-facing link (node < 0: every node-facing link).
+	SetBackgroundLoad(node int, frac float64)
+	// Gossip returns node i's gossip daemon, or nil on topologies that run
+	// the legacy paired-daemon monitoring (the star).
+	Gossip(i int) *infod.Gossip
+	// TierStats reports per-tier link counts, capacity and carried bytes.
+	TierStats() []TierStats
+}
+
+// envelope wraps a routed payload: the node pair it travels between and
+// the original message. Switch vertices (and the star hub) forward it;
+// the destination node unwraps it and dispatches the inner payload.
+type envelope struct {
+	src, dst int
+	inner    netmodel.Message
+}
+
+// Build constructs the configured interconnect over nodes on eng and
+// starts its monitoring plane. The node slice is the cluster, indexed by
+// node id; nodes must already exist (their handler chains gain the
+// fabric's routing handlers).
+func Build(eng *sim.Engine, nodes []*cluster.Node, cfg Config) Interconnect {
+	switch cfg.Kind {
+	case KindTwoTier, KindFlat:
+		return buildSwitched(eng, nodes, cfg.withDefaults())
+	default:
+		return buildStar(eng, nodes, cfg)
+	}
+}

@@ -1,0 +1,276 @@
+// Switched fabrics: the two-tier rack fabric (per-rack leaf switches
+// under an oversubscribed core spine) and the flat full-bisection fabric
+// (one non-blocking switch). Payloads are routed store-and-forward: each
+// hop is a netmodel link with its own FIFO serialisation horizon, so
+// migrations, gossip and background load contend per link along the path
+// — cross-rack traffic queues on the shared uplinks. Monitoring is
+// decentralised gossip (infod.Gossip), one daemon per node.
+package fabric
+
+import (
+	"fmt"
+
+	"ampom/internal/cluster"
+	"ampom/internal/core"
+	"ampom/internal/infod"
+	"ampom/internal/netmodel"
+	"ampom/internal/prng"
+	"ampom/internal/sim"
+	"ampom/internal/simtime"
+)
+
+// prngForDaemons derives the daemon-jitter seed stream from the scenario
+// seed — the exact constant the pre-fabric runner used ("oM_infod").
+func prngForDaemons(seed uint64) *prng.Source { return prng.New(seed ^ 0x6f4d5f696e666f64) }
+
+// prngForGossip derives the gossip daemons' seed stream ("oM_gossp").
+func prngForGossip(seed uint64) *prng.Source { return prng.New(seed ^ 0x6f4d5f676f737370) }
+
+// Tier indices of the switched fabrics.
+const (
+	tierEdge = 0
+	tierCore = 1
+)
+
+// switched is a tree fabric: node vertices at the leaves, switch vertices
+// above them, and static next-hop routing per destination node.
+type switched struct {
+	kind  Kind
+	eng   *sim.Engine
+	nodes []*cluster.Node
+
+	nominal float64
+
+	// Vertices: 0..n-1 are nodes, the rest switches. nicOf[v] is the
+	// vertex's NIC (a switch shares one NIC across its links, like the
+	// star hub shares the hub node's).
+	nicOf []*netmodel.NIC
+
+	links    []*netmodel.Link
+	linkTier []int
+	edgeLink []int   // edgeLink[node] is the node's uplink into the fabric
+	nextHop  [][]int // nextHop[vertex][dstNode] = link index
+
+	tiers  []TierStats
+	gossip []*infod.Gossip
+}
+
+// buildSwitched wires the two-tier or flat fabric over nodes and starts
+// the gossip plane. cfg has defaults resolved.
+func buildSwitched(eng *sim.Engine, nodes []*cluster.Node, cfg Config) *switched {
+	n := len(nodes)
+	s := &switched{
+		kind:     cfg.Kind,
+		eng:      eng,
+		nodes:    nodes,
+		nominal:  cfg.Network.BandwidthBps,
+		edgeLink: make([]int, n),
+	}
+
+	racks := 1
+	rackOf := make([]int, n)
+	if cfg.Kind == KindTwoTier {
+		racks = (n + cfg.RackSize - 1) / cfg.RackSize
+		for i := range rackOf {
+			rackOf[i] = i / cfg.RackSize
+		}
+	}
+
+	// Vertex layout: nodes, then leaf switches, then (two-tier) the core.
+	nVerts := n + racks
+	spine := -1
+	if cfg.Kind == KindTwoTier {
+		spine = n + racks
+		nVerts++
+	}
+	s.nicOf = make([]*netmodel.NIC, nVerts)
+	for i, node := range nodes {
+		s.nicOf[i] = node.NIC
+	}
+	for v := n; v < nVerts; v++ {
+		v := v
+		name := fmt.Sprintf("leaf%02d", v-n)
+		if v == spine {
+			name = "core"
+		}
+		nic := netmodel.NewNIC(name, nil)
+		nic.SetHandler(func(m netmodel.Message) {
+			env, ok := m.Payload.(*envelope)
+			if !ok {
+				panic(fmt.Sprintf("fabric: switch %s received non-envelope payload %T", name, m.Payload))
+			}
+			s.forward(v, env)
+		})
+		s.nicOf[v] = nic
+	}
+
+	// Edge links: every node up to its switch (its rack leaf, or the flat
+	// core). Uplinks: each leaf to the core, carrying RackSize/Oversub
+	// node-links' worth of bandwidth.
+	s.tiers = []TierStats{{Name: "edge"}}
+	addLink := func(a, b, tier int, profile netmodel.Profile, bg float64) int {
+		l := netmodel.NewLink(eng, profile, s.nicOf[a], s.nicOf[b])
+		l.SetBackgroundLoad(bg)
+		s.links = append(s.links, l)
+		s.linkTier = append(s.linkTier, tier)
+		s.tiers[tier].Links++
+		s.tiers[tier].CapacityBps += profile.BandwidthBps
+		return len(s.links) - 1
+	}
+	for i := range nodes {
+		up := n + rackOf[i]
+		if cfg.Kind == KindFlat {
+			up = n // the single switch
+		}
+		s.edgeLink[i] = addLink(i, up, tierEdge, cfg.Network, cfg.BackgroundLoad)
+	}
+	uplink := make([]int, racks)
+	if cfg.Kind == KindTwoTier {
+		s.tiers = append(s.tiers, TierStats{Name: "core"})
+		upProfile := cfg.Network
+		upProfile.Name = fmt.Sprintf("%s-uplink", cfg.Network.Name)
+		upProfile.BandwidthBps = cfg.Network.BandwidthBps * float64(cfg.RackSize) / cfg.Oversub
+		for r := 0; r < racks; r++ {
+			uplink[r] = addLink(n+r, spine, tierCore, upProfile, 0)
+		}
+	}
+
+	// Static routing: next link toward every destination node.
+	s.nextHop = make([][]int, nVerts)
+	for v := range s.nextHop {
+		s.nextHop[v] = make([]int, n)
+		for d := 0; d < n; d++ {
+			switch {
+			case v < n: // a node forwards up its edge link
+				s.nextHop[v][d] = s.edgeLink[v]
+			case v == spine: // the core descends into the destination rack
+				s.nextHop[v][d] = uplink[rackOf[d]]
+			default: // a leaf (or the flat switch)
+				r := v - n
+				if cfg.Kind == KindFlat || rackOf[d] == r {
+					s.nextHop[v][d] = s.edgeLink[d]
+				} else {
+					s.nextHop[v][d] = uplink[r]
+				}
+			}
+		}
+	}
+
+	// Node-side delivery: unwrap envelopes arriving at their destination.
+	for i, node := range nodes {
+		i, node := i, node
+		node.Handle(func(payload any) bool {
+			env, ok := payload.(*envelope)
+			if !ok {
+				return false
+			}
+			if env.dst != i {
+				panic(fmt.Sprintf("fabric: payload for node %d delivered to node %d", env.dst, i))
+			}
+			node.Deliver(env.inner.Payload)
+			return true
+		})
+	}
+
+	// The gossip plane: one daemon per node, pushing through the fabric.
+	gcfg := infod.GossipConfig{Period: cfg.GossipPeriod, Fanout: cfg.GossipFanout}
+	grng := prngForGossip(cfg.Seed)
+	s.gossip = make([]*infod.Gossip, n)
+	for i, node := range nodes {
+		i := i
+		s.gossip[i] = infod.NewGossip(gcfg, node, i, n, cfg.Network.BandwidthBps,
+			func(dst int, m netmodel.Message) { s.Send(i, dst, m) }, grng.Uint64())
+		s.gossip[i].Start()
+	}
+	return s
+}
+
+// Kind reports the topology.
+func (s *switched) Kind() Kind { return s.kind }
+
+// Send routes m from node src to node dst along the tree path, one
+// store-and-forward hop at a time.
+func (s *switched) Send(src, dst int, m netmodel.Message) {
+	if src == dst {
+		panic(fmt.Sprintf("fabric: send from node %d to itself", src))
+	}
+	s.forward(src, &envelope{src: src, dst: dst, inner: m})
+}
+
+// forward ships an envelope one hop onward from vertex v.
+func (s *switched) forward(v int, env *envelope) {
+	li := s.nextHop[v][env.dst]
+	s.tiers[s.linkTier[li]].Bytes += env.inner.Size
+	s.links[li].Send(s.nicOf[v], netmodel.Message{Size: env.inner.Size, Payload: env})
+}
+
+// ClusterBandwidth is the tightest gossip-daemon bandwidth estimate — the
+// conservative figure balancer policies decide with.
+func (s *switched) ClusterBandwidth() float64 {
+	bw := 0.0
+	for _, g := range s.gossip {
+		if b := g.Bandwidth(); b > 0 && (bw == 0 || b < bw) {
+			bw = b
+		}
+	}
+	if bw == 0 {
+		bw = s.nominal
+	}
+	return bw
+}
+
+// PathBandwidth is the tighter of the two endpoint daemons' estimates.
+func (s *switched) PathBandwidth(src, dst int) float64 {
+	bw := 0.0
+	for _, n := range []int{src, dst} {
+		b := s.gossip[n].Bandwidth()
+		if bw == 0 || b < bw {
+			bw = b
+		}
+	}
+	if bw == 0 {
+		bw = s.nominal
+	}
+	return bw
+}
+
+// PathEstimates assembles the Eq. 3 inputs for a migration from src
+// restoring on dst: the destination daemon's staleness-derived view of
+// the origin (so estimates grow with topology distance), and the slower
+// of the two endpoints' page-transfer estimates.
+func (s *switched) PathEstimates(src, dst int) core.Estimates {
+	out := s.gossip[dst].Estimates(src)
+	if e := s.gossip[src].Estimates(dst); e.PageTransfer > out.PageTransfer {
+		out.PageTransfer = e.PageTransfer
+	}
+	return out
+}
+
+// MeanRTT is the mean staleness-derived round trip across every daemon.
+func (s *switched) MeanRTT() simtime.Duration {
+	var sum simtime.Duration
+	for _, g := range s.gossip {
+		sum += g.MeanRTT()
+	}
+	return sum / simtime.Duration(len(s.gossip))
+}
+
+// SetBackgroundLoad sets the background-load fraction of node's edge link
+// (node < 0: every edge link). Uplinks carry only modelled traffic.
+func (s *switched) SetBackgroundLoad(node int, frac float64) {
+	for i := range s.nodes {
+		if node < 0 || node == i {
+			s.links[s.edgeLink[i]].SetBackgroundLoad(frac)
+		}
+	}
+}
+
+// Gossip returns node i's gossip daemon.
+func (s *switched) Gossip(i int) *infod.Gossip { return s.gossip[i] }
+
+// TierStats reports per-tier link counts, capacity and carried bytes.
+func (s *switched) TierStats() []TierStats {
+	out := make([]TierStats, len(s.tiers))
+	copy(out, s.tiers)
+	return out
+}

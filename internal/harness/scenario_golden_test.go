@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"ampom/internal/fabric"
 	"ampom/internal/scenario"
 )
 
@@ -13,12 +14,24 @@ import (
 // count, sequential vs parallel campaign execution included. `make ci` runs
 // this file under the race detector too.
 
-// renderScenarios runs every preset through one matrix and concatenates the
-// rendered reports.
+// renderScenarios runs every preset up to 128 nodes through one matrix and
+// concatenates the rendered reports. The 512-node rack-farm preset is
+// gated separately (a shrunk worker-identity test below, plus the
+// BenchmarkFabric512 event-budget gate in `make ci`) so this test stays
+// race-detector-sized.
 func renderScenarios(t *testing.T, workers int) string {
 	t.Helper()
 	m := NewMatrix(Config{Scale: 16, Seed: 7, Workers: workers})
-	reports, err := m.RunScenarios(scenario.Presets())
+	var specs []scenario.Spec
+	for _, s := range scenario.Presets() {
+		if s.Nodes <= 128 {
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) < 5 {
+		t.Fatalf("only %d presets under 128 nodes — the preset catalogue shrank", len(specs))
+	}
+	reports, err := m.RunScenarios(specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,6 +122,91 @@ func TestScenarioGoldenFivePolicyIO(t *testing.T) {
 		if st.Policy != spec.Policies[i] {
 			t.Fatalf("row %d is %q, want registry-sorted %q", i, st.Policy, spec.Policies[i])
 		}
+	}
+}
+
+// TestFabricGoldenAcrossWorkers locks j1 == j8 byte-identity for every
+// fabric topology under every registered policy: rendered, JSON and CSV
+// reports are identical whatever the worker count.
+func TestFabricGoldenAcrossWorkers(t *testing.T) {
+	for _, topo := range []string{"star", "two-tier", "flat"} {
+		kind, err := fabric.ParseKind(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := scenario.Spec{
+			Name:            "golden-" + topo,
+			Nodes:           10,
+			Procs:           40,
+			Skew:            0.7,
+			MeanFootprintMB: 32,
+			Fabric:          scenario.FabricSpec{Topology: kind, RackSize: 4},
+		}.Canonical()
+		if len(spec.Policies) != len(scenario.DefaultPolicies()) {
+			t.Fatalf("%s: spec runs %d policies, want the whole registry", topo, len(spec.Policies))
+		}
+		a, err := NewMatrix(Config{Seed: 7, Workers: 1}).RunScenario(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewMatrix(Config{Seed: 7, Workers: 8}).RunScenario(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Render() != b.Render() {
+			t.Fatalf("%s: rendered reports differ between -j 1 and -j 8", topo)
+		}
+		aj, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(aj) != string(bj) {
+			t.Fatalf("%s: JSON reports differ between -j 1 and -j 8", topo)
+		}
+		if a.CSV() != b.CSV() {
+			t.Fatalf("%s: CSV reports differ between -j 1 and -j 8", topo)
+		}
+	}
+}
+
+// TestRackFarmShrunkAcrossWorkers drives the rack-farm preset's exact
+// shape (two-tier fabric, slow tier, round-robin ranks) at test scale and
+// locks worker-count byte-identity — the acceptance property of
+// `ampom-cluster -scenario rack-farm -fabric two-tier -j 8`.
+func TestRackFarmShrunkAcrossWorkers(t *testing.T) {
+	spec, err := scenario.Preset("rack-farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Nodes != 512 || spec.Procs != 2048 {
+		t.Fatalf("rack-farm is %dn/%dp, want 512/2048", spec.Nodes, spec.Procs)
+	}
+	spec.Nodes, spec.Procs, spec.NodeMemMB = 64, 256, 0
+	spec = spec.Canonical()
+	a, err := NewMatrix(Config{Seed: 7, Workers: 1}).RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMatrix(Config{Seed: 7, Workers: 8}).RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("shrunk rack-farm reports differ between -j 1 and -j 8")
+	}
+	am, ok := a.Scheme("AMPoM")
+	if !ok {
+		t.Fatal("no AMPoM row")
+	}
+	if am.Migrations == 0 {
+		t.Fatal("rack-farm's slow tier triggered no migrations")
+	}
+	if len(am.TierUse) != 2 {
+		t.Fatalf("rack-farm reports %d tiers, want edge+core", len(am.TierUse))
 	}
 }
 

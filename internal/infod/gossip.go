@@ -1,0 +1,366 @@
+// Decentralised gossip dissemination — the switched-fabric replacement for
+// the paired hub-spoke daemon exchange. One Gossip daemon runs per node;
+// every period it pushes its load vector (its own fresh sample plus the
+// entries it has heard) to a few random peers, entries age as they
+// propagate, and the t0 estimate AMPoM's Equation 3 consumes is derived
+// per origin from the observed gossip-path timing. Because an entry's age
+// accumulates queueing, scheduling delay and hop count, balancer policies
+// on a large fabric see staleness that grows with topology distance — the
+// MOSIX information-dissemination behaviour the related farm literature
+// describes, rather than the paper's two-node pairing.
+package infod
+
+import (
+	"ampom/internal/cluster"
+	"ampom/internal/core"
+	"ampom/internal/memory"
+	"ampom/internal/netmodel"
+	"ampom/internal/prng"
+	"ampom/internal/sim"
+	"ampom/internal/simtime"
+)
+
+// GossipConfig tunes a gossip daemon. Zero fields take defaults. The
+// fabric layer always passes Period and Fanout explicitly (resolved from
+// fabric.DefaultGossipPeriod/DefaultGossipFanout); the local defaults
+// here only serve direct NewGossip callers and mirror those values.
+type GossipConfig struct {
+	// Period is the gossip push period. Default 2 s (the paired daemons'
+	// historical update period).
+	Period simtime.Duration
+	// Fanout is how many random peers each push round targets. Default 2.
+	Fanout int
+	// MaxAge drops entries older than this from outgoing vectors (they
+	// still serve local reads until overwritten). Default 30 s.
+	MaxAge simtime.Duration
+	// SchedDelay is the mean user-level scheduling delay before a daemon
+	// composes or merges a message. Default 6 ms, as for Config.
+	SchedDelay simtime.Duration
+	// Jitter is the fractional spread of SchedDelay. Default 0.5.
+	Jitter float64
+	// Alpha is the EWMA weight folding new age samples into the per-origin
+	// staleness estimate. Default 0.1.
+	Alpha float64
+	// BandwidthFloorFrac floors the bandwidth estimate at this fraction of
+	// nominal capacity. Default 0.25.
+	BandwidthFloorFrac float64
+	// MsgBytes is the wire size of a gossip message header. Default 192.
+	MsgBytes int64
+	// EntryBytes is the wire size of one load-vector entry. Default 32.
+	EntryBytes int64
+}
+
+func (c GossipConfig) withDefaults() GossipConfig {
+	if c.Period == 0 {
+		c.Period = 2 * simtime.Second
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 2
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 30 * simtime.Second
+	}
+	if c.SchedDelay == 0 {
+		c.SchedDelay = 6 * simtime.Millisecond
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.5
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.BandwidthFloorFrac == 0 {
+		c.BandwidthFloorFrac = 0.25
+	}
+	if c.MsgBytes == 0 {
+		c.MsgBytes = 192
+	}
+	if c.EntryBytes == 0 {
+		c.EntryBytes = 32
+	}
+	return c
+}
+
+// LoadSample is one node's disseminated load state at a stamp instant.
+type LoadSample struct {
+	// Load is the CPU-scaled runnable load (queue length / CPU scale).
+	Load float64
+	// Queue is the raw runnable-queue length.
+	Queue int
+	// UsedMemMB is the resident memory footprint.
+	UsedMemMB int64
+}
+
+// GossipEntry is one origin's entry in a daemon's load vector.
+type GossipEntry struct {
+	// Sample is the origin's load state as of Stamp.
+	Sample LoadSample
+	// Stamp is the origin-side composition instant of the sample.
+	Stamp simtime.Time
+	// Hops counts how many daemon-to-daemon pushes the entry crossed.
+	Hops int
+	// Known reports whether any sample for the origin has arrived yet.
+	Known bool
+}
+
+// gossipEntryWire is one entry on the wire (hops as recorded by the
+// sender; the receiver increments).
+type gossipEntryWire struct {
+	Origin int
+	Entry  GossipEntry
+}
+
+// gossipMsg is one load-vector push.
+type gossipMsg struct {
+	From    int
+	Entries []gossipEntryWire
+}
+
+// Gossip is one node's gossip dissemination daemon.
+type Gossip struct {
+	cfg  GossipConfig
+	eng  *sim.Engine
+	node *cluster.Node
+	id   int
+	n    int
+	send func(dst int, m netmodel.Message)
+	rng  *prng.Source
+
+	probe  func() LoadSample
+	ticker *sim.Ticker
+
+	entries []GossipEntry
+	ageEst  []simtime.Duration
+	haveAge []bool
+
+	// Bandwidth estimate state — the same NIC-counter differencing the
+	// paired daemon uses.
+	lastBytes   int64
+	lastAt      simtime.Time
+	bwEst       float64
+	haveBw      bool
+	nominalBw   float64
+	minInterval simtime.Duration
+}
+
+// NewGossip creates the gossip daemon of node id in an n-node cluster.
+// send routes one message to a peer (the fabric's topology path); seed
+// drives the daemon's jitter and peer-selection stream. The daemon
+// registers its message handler on the node; call Start to begin pushing.
+func NewGossip(cfg GossipConfig, node *cluster.Node, id, n int, nominalBw float64, send func(dst int, m netmodel.Message), seed uint64) *Gossip {
+	cfg = cfg.withDefaults()
+	g := &Gossip{
+		cfg:         cfg,
+		eng:         node.Eng,
+		node:        node,
+		id:          id,
+		n:           n,
+		send:        send,
+		rng:         prng.New(seed),
+		entries:     make([]GossipEntry, n),
+		ageEst:      make([]simtime.Duration, n),
+		haveAge:     make([]bool, n),
+		nominalBw:   nominalBw,
+		minInterval: 10 * simtime.Millisecond,
+		lastAt:      node.Eng.Now(),
+	}
+	node.Handle(g.handle)
+	return g
+}
+
+// ID returns the daemon's node id.
+func (g *Gossip) ID() int { return g.id }
+
+// SetProbe installs the local load probe sampled at every push round.
+func (g *Gossip) SetProbe(f func() LoadSample) { g.probe = f }
+
+// Start begins periodic pushes.
+func (g *Gossip) Start() {
+	if g.ticker != nil {
+		return
+	}
+	g.ticker = sim.NewTicker(g.eng, g.cfg.Period, g.push)
+}
+
+// Stop halts periodic pushes.
+func (g *Gossip) Stop() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+		g.ticker = nil
+	}
+}
+
+// schedDelay draws one user-level scheduling delay.
+func (g *Gossip) schedDelay() simtime.Duration {
+	j := 1 + g.cfg.Jitter*(2*g.rng.Float64()-1)
+	return simtime.Duration(float64(g.cfg.SchedDelay) * j)
+}
+
+// push composes the outgoing load vector and hands it to fanout random
+// peers, each after a scheduling delay. The vector is stamped at
+// composition time, as the paired daemon stamps its payload.
+func (g *Gossip) push() {
+	now := g.eng.Now()
+	if g.probe != nil {
+		g.entries[g.id] = GossipEntry{Sample: g.probe(), Stamp: now, Known: true}
+	} else {
+		g.entries[g.id] = GossipEntry{Stamp: now, Known: true}
+	}
+
+	var snapshot []gossipEntryWire
+	for o, e := range g.entries {
+		if !e.Known || now.Sub(e.Stamp) > g.cfg.MaxAge {
+			continue
+		}
+		snapshot = append(snapshot, gossipEntryWire{Origin: o, Entry: e})
+	}
+	size := g.cfg.MsgBytes + g.cfg.EntryBytes*int64(len(snapshot))
+	msg := gossipMsg{From: g.id, Entries: snapshot}
+
+	for k := 0; k < g.cfg.Fanout && g.n > 1; k++ {
+		dst := g.rng.Intn(g.n)
+		for dst == g.id {
+			dst = g.rng.Intn(g.n)
+		}
+		g.eng.Schedule(g.schedDelay(), func() {
+			g.send(dst, netmodel.Message{Size: size, Payload: msg})
+		})
+	}
+}
+
+// handle consumes gossip messages delivered to this node; the merge runs
+// after this side's scheduling delay (the daemon has to be woken and run).
+func (g *Gossip) handle(payload any) bool {
+	m, ok := payload.(gossipMsg)
+	if !ok {
+		return false
+	}
+	g.eng.Schedule(g.schedDelay(), func() { g.merge(m) })
+	return true
+}
+
+// merge folds a received load vector in: newer stamps win, hop counts
+// increment, and every accepted entry contributes an age sample to the
+// per-origin staleness estimate.
+func (g *Gossip) merge(m gossipMsg) {
+	now := g.eng.Now()
+	for _, w := range m.Entries {
+		o := w.Origin
+		if o == g.id || o < 0 || o >= g.n {
+			continue
+		}
+		cur := g.entries[o]
+		if cur.Known && w.Entry.Stamp <= cur.Stamp {
+			continue
+		}
+		e := w.Entry
+		e.Hops++
+		e.Known = true
+		g.entries[o] = e
+		g.recordAge(o, now.Sub(e.Stamp))
+	}
+}
+
+// recordAge folds one observed entry age into the origin's EWMA.
+func (g *Gossip) recordAge(origin int, age simtime.Duration) {
+	if age < 0 {
+		age = 0
+	}
+	if !g.haveAge[origin] {
+		g.ageEst[origin] = age
+		g.haveAge[origin] = true
+		return
+	}
+	a := g.cfg.Alpha
+	g.ageEst[origin] = simtime.Duration(a*float64(age) + (1-a)*float64(g.ageEst[origin]))
+}
+
+// Entry returns this daemon's current view of origin's load state.
+func (g *Gossip) Entry(origin int) GossipEntry { return g.entries[origin] }
+
+// EntryAge returns how stale the origin's entry is right now (and whether
+// one exists at all).
+func (g *Gossip) EntryAge(origin int) (simtime.Duration, bool) {
+	e := g.entries[origin]
+	if !e.Known {
+		return 0, false
+	}
+	return g.eng.Now().Sub(e.Stamp), true
+}
+
+// AgeRTT returns the staleness-derived round-trip estimate for origin
+// (2× the smoothed one-way dissemination delay), if any sample arrived.
+func (g *Gossip) AgeRTT(origin int) (simtime.Duration, bool) {
+	if !g.haveAge[origin] {
+		return 0, false
+	}
+	return 2 * g.ageEst[origin], true
+}
+
+// MeanRTT is the mean staleness-derived round-trip estimate over every
+// origin heard from; with no samples yet it falls back to the freshly
+// joined daemon's prior (two scheduling delays).
+func (g *Gossip) MeanRTT() simtime.Duration {
+	var sum simtime.Duration
+	n := 0
+	for o := range g.ageEst {
+		if g.haveAge[o] {
+			sum += 2 * g.ageEst[o]
+			n++
+		}
+	}
+	if n == 0 {
+		return 2 * g.cfg.SchedDelay
+	}
+	return sum / simtime.Duration(n)
+}
+
+// refreshBandwidth re-derives the bandwidth estimate from NIC counter
+// deltas, exactly as the paired daemon does.
+func (g *Gossip) refreshBandwidth() {
+	now := g.eng.Now()
+	elapsed := now.Sub(g.lastAt)
+	if g.haveBw && elapsed < g.minInterval {
+		return
+	}
+	cur := g.node.NIC.Counters.RxBytes + g.node.NIC.Counters.TxBytes
+	if elapsed > 0 {
+		observed := float64(cur-g.lastBytes) / elapsed.Seconds()
+		floor := g.cfg.BandwidthFloorFrac * g.nominalBw
+		if observed < floor {
+			observed = floor
+		}
+		if observed > g.nominalBw {
+			observed = g.nominalBw
+		}
+		g.bwEst = observed
+		g.haveBw = true
+	}
+	g.lastBytes = cur
+	g.lastAt = now
+}
+
+// Bandwidth returns the current bytes/s estimate.
+func (g *Gossip) Bandwidth() float64 {
+	g.refreshBandwidth()
+	if !g.haveBw {
+		return g.cfg.BandwidthFloorFrac * g.nominalBw
+	}
+	return g.bwEst
+}
+
+// Estimates assembles the Eq. 3 inputs this daemon would report for a
+// migration originating at origin: the staleness-derived RTT (or the
+// prior when nothing has been heard) and the one-page transfer time at
+// the estimated bandwidth.
+func (g *Gossip) Estimates(origin int) core.Estimates {
+	rtt, ok := g.AgeRTT(origin)
+	if !ok {
+		rtt = 2 * g.cfg.SchedDelay
+	}
+	pageBytes := float64(memory.PageSize + 64)
+	return core.Estimates{
+		RTT:          rtt,
+		PageTransfer: simtime.FromSeconds(pageBytes / g.Bandwidth()),
+	}
+}

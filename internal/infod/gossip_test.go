@@ -1,0 +1,132 @@
+package infod
+
+import (
+	"testing"
+
+	"ampom/internal/cluster"
+	"ampom/internal/netmodel"
+	"ampom/internal/sim"
+	"ampom/internal/simtime"
+)
+
+// gossipLine wires n gossip daemons into a line topology with a fixed
+// per-hop delay, delivered through a direct send hook (no fabric): node i
+// reaches node j in |i-j| hops of hopDelay each. This isolates the
+// daemon's merge/age logic from routing.
+func gossipLine(t *testing.T, n int, fanout int, hopDelay simtime.Duration) (*sim.Engine, []*Gossip) {
+	t.Helper()
+	eng := sim.New()
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(eng, "g", 1)
+	}
+	daemons := make([]*Gossip, n)
+	cfg := GossipConfig{Period: simtime.Second, Fanout: fanout}
+	for i := range daemons {
+		i := i
+		send := func(dst int, m netmodel.Message) {
+			hops := dst - i
+			if hops < 0 {
+				hops = -hops
+			}
+			eng.Schedule(simtime.Duration(hops)*hopDelay, func() { nodes[dst].Deliver(m.Payload) })
+		}
+		daemons[i] = NewGossip(cfg, nodes[i], i, n, 11.36e6, send, uint64(1000+i))
+		daemons[i].SetProbe(func() LoadSample {
+			return LoadSample{Load: float64(i), Queue: 2 * i, UsedMemMB: int64(i)}
+		})
+		daemons[i].Start()
+	}
+	return eng, daemons
+}
+
+func TestGossipMergesNewestWins(t *testing.T) {
+	eng, daemons := gossipLine(t, 6, 2, simtime.Millisecond)
+	eng.Run(simtime.Time(15 * simtime.Second))
+	for i, g := range daemons {
+		for o := 0; o < 6; o++ {
+			e := g.Entry(o)
+			if !e.Known {
+				t.Fatalf("daemon %d missing origin %d", i, o)
+			}
+			if e.Sample.Queue != 2*o || e.Sample.UsedMemMB != int64(o) {
+				t.Fatalf("daemon %d origin %d carries sample %+v", i, o, e.Sample)
+			}
+			if age, ok := g.EntryAge(o); !ok || age < 0 {
+				t.Fatalf("daemon %d origin %d age %v, %v", i, o, age, ok)
+			}
+		}
+	}
+}
+
+func TestGossipStalenessGrowsWithDistance(t *testing.T) {
+	// With a strongly distance-proportional hop delay, the far end of the
+	// line must accumulate a larger staleness estimate for origin 0 than
+	// origin 0's direct neighbour does.
+	eng, daemons := gossipLine(t, 8, 1, 40*simtime.Millisecond)
+	eng.Run(simtime.Time(60 * simtime.Second))
+	near, okN := daemons[1].AgeRTT(0)
+	far, okF := daemons[7].AgeRTT(0)
+	if !okN || !okF {
+		t.Fatalf("missing estimates: near %v far %v", okN, okF)
+	}
+	if far <= near {
+		t.Fatalf("staleness did not grow with distance: near %v, far %v", near, far)
+	}
+}
+
+func TestGossipEstimatesAndBandwidth(t *testing.T) {
+	eng, daemons := gossipLine(t, 4, 2, simtime.Millisecond)
+	eng.Run(simtime.Time(10 * simtime.Second))
+	g := daemons[2]
+	est := g.Estimates(0)
+	if est.RTT <= 0 || est.PageTransfer <= 0 {
+		t.Fatalf("degenerate estimates %+v", est)
+	}
+	// Unheard origins fall back to the prior, never zero.
+	fresh := NewGossip(GossipConfig{}, cluster.NewNode(eng, "x", 1), 0, 4, 11.36e6,
+		func(int, netmodel.Message) {}, 1)
+	if est := fresh.Estimates(3); est.RTT <= 0 || est.PageTransfer <= 0 {
+		t.Fatalf("fresh daemon estimates degenerate: %+v", est)
+	}
+	if fresh.MeanRTT() <= 0 {
+		t.Fatal("fresh daemon mean RTT degenerate")
+	}
+	if bw := g.Bandwidth(); bw <= 0 || bw > 11.36e6 {
+		t.Fatalf("bandwidth estimate %g out of range", bw)
+	}
+}
+
+func TestGossipStopHaltsPushes(t *testing.T) {
+	eng, daemons := gossipLine(t, 3, 1, simtime.Millisecond)
+	eng.Run(simtime.Time(5 * simtime.Second))
+	for _, g := range daemons {
+		g.Stop()
+	}
+	before := eng.Processed
+	eng.Run(simtime.Time(10 * simtime.Second))
+	// Only already-queued sends drain; no new periodic work appears.
+	if eng.Processed > before+64 {
+		t.Fatalf("stopped daemons still generated %d events", eng.Processed-before)
+	}
+}
+
+func TestGossipDeterministicPeers(t *testing.T) {
+	run := func() []GossipEntry {
+		eng, daemons := gossipLine(t, 5, 2, simtime.Millisecond)
+		eng.Run(simtime.Time(8 * simtime.Second))
+		var out []GossipEntry
+		for _, g := range daemons {
+			for o := 0; o < 5; o++ {
+				out = append(out, g.Entry(o))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"ampom/internal/fabric"
 	"ampom/internal/netmodel"
 	"ampom/internal/simtime"
 )
@@ -50,7 +51,9 @@ type specJSON struct {
 	NodeMemMB        int64        `json:"node_mem_mb,omitempty"`
 	Mix              []mixJSON    `json:"mix,omitempty"`
 	Policies         []string     `json:"policies,omitempty"`
+	LoadVectorLen    int          `json:"load_vector_len,omitempty"`
 	Network          *networkJSON `json:"network,omitempty"`
+	Fabric           *fabricJSON  `json:"fabric,omitempty"`
 	BackgroundLoad   float64      `json:"background_load,omitempty"`
 	BalancePeriod    string       `json:"balance_period,omitempty"`
 	CostThreshold    float64      `json:"cost_threshold,omitempty"`
@@ -68,6 +71,17 @@ type networkJSON struct {
 	Name          string  `json:"name,omitempty"`
 	LatencyOneWay string  `json:"latency_one_way,omitempty"`
 	BandwidthBps  float64 `json:"bandwidth_bps,omitempty"`
+}
+
+// fabricJSON is the on-disk shape of the Fabric block. The legacy star
+// default is encoded by omitting the block entirely, so pre-fabric spec
+// documents decode (and re-encode) unchanged.
+type fabricJSON struct {
+	Topology     string  `json:"topology"`
+	RackSize     int     `json:"rack_size,omitempty"`
+	Oversub      float64 `json:"oversubscription,omitempty"`
+	GossipFanout int     `json:"gossip_fanout,omitempty"`
+	GossipPeriod string  `json:"gossip_period,omitempty"`
 }
 
 type churnJSON struct {
@@ -128,7 +142,7 @@ func parsePlacement(s string) (Placement, error) {
 
 // parseChurnKind resolves a churn-kind name.
 func parseChurnKind(s string) (ChurnKind, error) {
-	for _, k := range []ChurnKind{ChurnSlowNode, ChurnBurst, ChurnNetLoad} {
+	for _, k := range []ChurnKind{ChurnSlowNode, ChurnBurst, ChurnNetLoad, ChurnBalloon} {
 		if s == k.String() {
 			return k, nil
 		}
@@ -155,6 +169,7 @@ func (s Spec) toJSON() specJSON {
 		MeanFootprintMB:  s.MeanFootprintMB,
 		NodeMemMB:        s.NodeMemMB,
 		Policies:         s.Policies,
+		LoadVectorLen:    s.LoadVectorLen,
 		BackgroundLoad:   s.BackgroundLoad,
 		BalancePeriod:    fmtDur(s.BalancePeriod),
 		CostThreshold:    s.CostThreshold,
@@ -168,6 +183,15 @@ func (s Spec) toJSON() specJSON {
 		Name:          s.Network.Name,
 		LatencyOneWay: fmtDur(s.Network.LatencyOneWay),
 		BandwidthBps:  s.Network.BandwidthBps,
+	}
+	if f := s.Fabric.Canonical(); !f.IsDefault() {
+		out.Fabric = &fabricJSON{
+			Topology:     f.Topology.String(),
+			RackSize:     f.RackSize,
+			Oversub:      f.Oversub,
+			GossipFanout: f.GossipFanout,
+			GossipPeriod: fmtDur(f.GossipPeriod),
+		}
 	}
 	for _, c := range s.Churn {
 		out.Churn = append(out.Churn, churnJSON{
@@ -192,6 +216,7 @@ func (sj specJSON) fromJSON() (Spec, error) {
 		MeanFootprintMB: sj.MeanFootprintMB,
 		NodeMemMB:       sj.NodeMemMB,
 		Policies:        sj.Policies,
+		LoadVectorLen:   sj.LoadVectorLen,
 		BackgroundLoad:  sj.BackgroundLoad,
 		CostThreshold:   sj.CostThreshold,
 	}
@@ -233,6 +258,23 @@ func (sj specJSON) fromJSON() (Spec, error) {
 			Name:          sj.Network.Name,
 			LatencyOneWay: lat,
 			BandwidthBps:  sj.Network.BandwidthBps,
+		}
+	}
+	if sj.Fabric != nil {
+		kind, err := fabric.ParseKind(sj.Fabric.Topology)
+		if err != nil {
+			return Spec{}, fmt.Errorf("scenario: %w", err)
+		}
+		period, err := parseDur("fabric.gossip_period", sj.Fabric.GossipPeriod)
+		if err != nil {
+			return Spec{}, err
+		}
+		s.Fabric = FabricSpec{
+			Topology:     kind,
+			RackSize:     sj.Fabric.RackSize,
+			Oversub:      sj.Fabric.Oversub,
+			GossipFanout: sj.Fabric.GossipFanout,
+			GossipPeriod: period,
 		}
 	}
 	for i, c := range sj.Churn {
@@ -327,24 +369,34 @@ type reportJSON struct {
 }
 
 type schemeJSON struct {
-	Policy         string  `json:"policy"`
-	MakespanS      float64 `json:"makespan_s"`
-	MeanSlowdown   float64 `json:"mean_slowdown"`
-	SlowdownVsBase float64 `json:"slowdown_vs_base"`
-	Migrations     int     `json:"migrations"`
-	FrozenS        float64 `json:"frozen_s"`
-	ExtraWorkS     float64 `json:"extra_work_s"`
-	HardFaults     int64   `json:"hard_faults"`
-	PrefetchPages  int64   `json:"prefetch_pages"`
-	MigrationBytes int64   `json:"migration_bytes"`
-	Unfinished     int     `json:"unfinished"`
-	FinalRTTMs     float64 `json:"final_rtt_ms"`
-	Events         uint64  `json:"events"`
+	Policy         string     `json:"policy"`
+	MakespanS      float64    `json:"makespan_s"`
+	MeanSlowdown   float64    `json:"mean_slowdown"`
+	SlowdownVsBase float64    `json:"slowdown_vs_base"`
+	Migrations     int        `json:"migrations"`
+	FrozenS        float64    `json:"frozen_s"`
+	ExtraWorkS     float64    `json:"extra_work_s"`
+	HardFaults     int64      `json:"hard_faults"`
+	PrefetchPages  int64      `json:"prefetch_pages"`
+	MigrationBytes int64      `json:"migration_bytes"`
+	Unfinished     int        `json:"unfinished"`
+	FinalRTTMs     float64    `json:"final_rtt_ms"`
+	Events         uint64     `json:"events"`
+	Tiers          []tierJSON `json:"tiers,omitempty"`
+}
+
+// tierJSON is one interconnect tier's utilisation row (switched fabrics
+// only; legacy star reports omit the field).
+type tierJSON struct {
+	Tier        string  `json:"tier"`
+	Links       int     `json:"links"`
+	CapacityBps float64 `json:"capacity_bps"`
+	Bytes       int64   `json:"bytes"`
 }
 
 // schemeToJSON converts one policy row.
 func schemeToJSON(st SchemeStats) schemeJSON {
-	return schemeJSON{
+	out := schemeJSON{
 		Policy:         st.Policy,
 		MakespanS:      st.Makespan.Seconds(),
 		MeanSlowdown:   st.MeanSlowdown,
@@ -359,6 +411,12 @@ func schemeToJSON(st SchemeStats) schemeJSON {
 		FinalRTTMs:     st.FinalRTT.Milliseconds(),
 		Events:         st.Events,
 	}
+	for _, tu := range st.TierUse {
+		out.Tiers = append(out.Tiers, tierJSON{
+			Tier: tu.Name, Links: tu.Links, CapacityBps: tu.CapacityBps, Bytes: tu.Bytes,
+		})
+	}
+	return out
 }
 
 // toReportJSON converts a report into its on-disk shape — the single

@@ -6,7 +6,9 @@ import (
 	"strings"
 	"testing"
 
+	"ampom/internal/fabric"
 	"ampom/internal/sched"
+	"ampom/internal/simtime"
 )
 
 func TestSpecRoundTripPresets(t *testing.T) {
@@ -82,6 +84,203 @@ func TestDecodeSpecRejects(t *testing.T) {
 		if _, err := DecodeSpec([]byte(doc)); err == nil {
 			t.Errorf("%s accepted: %s", name, doc)
 		}
+	}
+}
+
+func TestSpecFabricRoundTrip(t *testing.T) {
+	for _, spec := range []Spec{
+		func() Spec {
+			s := small()
+			s.Fabric = FabricSpec{Topology: fabric.KindTwoTier, RackSize: 4, Oversub: 2}
+			s.LoadVectorLen = 5
+			return s
+		}(),
+		func() Spec {
+			s := small()
+			s.Fabric = FabricSpec{Topology: fabric.KindFlat, GossipFanout: 3, GossipPeriod: simtime.Second}
+			s.Churn = []ChurnEvent{{At: simtime.Second, Kind: ChurnBalloon, Node: 1, Factor: 4}}
+			return s
+		}(),
+	} {
+		enc, err := EncodeSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeSpec(enc)
+		if err != nil {
+			t.Fatalf("decode: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(dec, spec.Canonical()) {
+			t.Fatalf("fabric round trip changed the spec:\nwant %+v\ngot  %+v", spec.Canonical(), dec)
+		}
+		if dec.Fingerprint() != spec.Fingerprint() {
+			t.Fatal("fabric round trip changed the fingerprint")
+		}
+	}
+	// The default star omits the block entirely, keeping legacy documents
+	// byte-stable; non-default blocks appear.
+	enc, err := EncodeSpec(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), `"fabric"`) || strings.Contains(string(enc), `"load_vector_len"`) {
+		t.Fatalf("default spec encodes fabric fields:\n%s", enc)
+	}
+	for name, doc := range map[string]string{
+		"bad topology":  `{"version": 1, "fabric": {"topology": "hypercube"}}`,
+		"bad rack size": `{"version": 1, "fabric": {"topology": "two-tier", "rack_size": 1}}`,
+		"bad fanout":    `{"version": 1, "fabric": {"topology": "flat", "gossip_fanout": 999}}`,
+		"bad period":    `{"version": 1, "fabric": {"topology": "flat", "gossip_period": "soon"}}`,
+		"bad balloon":   `{"version": 1, "churn": [{"at": "1s", "kind": "balloon", "node": 0, "factor": -2}]}`,
+		"bad l":         `{"version": 1, "load_vector_len": -3}`,
+	} {
+		if _, err := DecodeSpec([]byte(doc)); err == nil {
+			t.Errorf("%s accepted: %s", name, doc)
+		}
+	}
+}
+
+func TestReportDecodeRoundTrip(t *testing.T) {
+	spec := small()
+	spec.Fabric = FabricSpec{Topology: fabric.KindTwoTier, RackSize: 2}
+	rep := MustRun(spec, 7)
+
+	// Single object form.
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReports(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d reports from a single object", len(got))
+	}
+	if !reflect.DeepEqual(got[0].Spec, rep.Spec) {
+		t.Fatalf("decoded spec diverged:\nwant %+v\ngot  %+v", rep.Spec, got[0].Spec)
+	}
+	if got[0].Seed != rep.Seed || got[0].Procs != rep.Procs || len(got[0].Schemes) != len(rep.Schemes) {
+		t.Fatal("decoded report envelope diverged")
+	}
+	for i, st := range got[0].Schemes {
+		want := rep.Schemes[i]
+		if st.Policy != want.Policy || st.Migrations != want.Migrations ||
+			st.HardFaults != want.HardFaults || st.MigrationBytes != want.MigrationBytes ||
+			st.Events != want.Events || len(st.TierUse) != len(want.TierUse) {
+			t.Fatalf("row %d diverged:\nwant %+v\ngot  %+v", i, want, st)
+		}
+	}
+	// Decode→encode is stable at the JSON level (the regression-gate
+	// property -diff relies on).
+	js2, err := got[0].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := DiffReportsData(js, js2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("decode→encode diverged:\n%s", strings.Join(diffs, "\n"))
+	}
+
+	// Array form.
+	batch, err := ReportsJSON([]*Report{rep, rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeReports(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d reports from a 2-array", len(got))
+	}
+
+	// Garbage is rejected.
+	for name, doc := range map[string]string{
+		"bad version":   `{"version": 99}`,
+		"unknown field": `{"version": 1, "bogus": 1}`,
+		"trailing":      `{"version": 1} {}`,
+		"not json":      `nonsense`,
+	} {
+		if _, err := DecodeReports([]byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestReportDecodeAcceptsUnregisteredPolicies locks the artefact contract:
+// a report recorded under a custom policy decodes in a process that never
+// registered it — the record of a past run must not depend on the
+// decoder's registry (specs, by contrast, keep rejecting unknown names).
+func TestReportDecodeAcceptsUnregisteredPolicies(t *testing.T) {
+	doc := `{
+  "version": 1,
+  "spec": {"version": 1, "name": "foreign", "nodes": 4, "policies": ["my-custom-policy", "no-migration"]},
+  "seed": 7,
+  "procs": 16,
+  "policies": [
+    {"policy": "my-custom-policy", "makespan_s": 10, "mean_slowdown": 1.5, "slowdown_vs_base": 0.5,
+     "migrations": 3, "frozen_s": 1, "extra_work_s": 0, "hard_faults": 0, "prefetch_pages": 0,
+     "migration_bytes": 100, "unfinished": 0, "final_rtt_ms": 12, "events": 1000},
+    {"policy": "no-migration", "makespan_s": 20, "mean_slowdown": 3, "slowdown_vs_base": 1,
+     "migrations": 0, "frozen_s": 0, "extra_work_s": 0, "hard_faults": 0, "prefetch_pages": 0,
+     "migration_bytes": 0, "unfinished": 0, "final_rtt_ms": 12, "events": 800}
+  ]
+}`
+	reps, err := DecodeReports([]byte(doc))
+	if err != nil {
+		t.Fatalf("report with a custom policy failed to decode: %v", err)
+	}
+	if st, ok := reps[0].Scheme("my-custom-policy"); !ok || st.Migrations != 3 {
+		t.Fatalf("custom policy row lost: %+v", reps[0].Schemes)
+	}
+	// The same names in a *spec* artefact stay rejected: a spec is an
+	// input to run, and running needs the policy registered.
+	if _, err := DecodeSpec([]byte(`{"version": 1, "policies": ["my-custom-policy"]}`)); err == nil {
+		t.Fatal("spec with an unregistered policy accepted")
+	}
+	// And diffing artefacts with custom policies works too.
+	if diffs, err := DiffReportsData([]byte(doc), []byte(doc)); err != nil || len(diffs) != 0 {
+		t.Fatalf("self-diff of a custom-policy artefact failed: %v %v", diffs, err)
+	}
+}
+
+func TestDiffReportsFindsDivergence(t *testing.T) {
+	a := MustRun(small(), 7)
+	b := MustRun(small(), 8)
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := DiffReportsData(aj, aj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != 0 {
+		t.Fatalf("identical artefacts diverged:\n%s", strings.Join(same, "\n"))
+	}
+	diffs, err := DiffReportsData(aj, bj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("different-seed artefacts compared equal")
+	}
+	found := false
+	for _, d := range diffs {
+		if strings.Contains(d, "seed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seed divergence not reported:\n%s", strings.Join(diffs, "\n"))
 	}
 }
 

@@ -9,7 +9,8 @@ import (
 // FuzzSpecRoundTrip locks the codec's two contracts: malformed input never
 // panics (it errors), and any document that decodes round-trips exactly —
 // decode→encode→decode is the identity and the encoding is stable. The
-// seed corpus is the four built-in presets plus a minimal document.
+// seed corpus is the built-in presets (the switched-fabric ones included)
+// plus minimal documents exercising the fabric block and churn kinds.
 func FuzzSpecRoundTrip(f *testing.F) {
 	for _, spec := range Presets() {
 		enc, err := EncodeSpec(spec)
@@ -20,6 +21,10 @@ func FuzzSpecRoundTrip(f *testing.F) {
 	}
 	f.Add([]byte(`{"version": 1}`))
 	f.Add([]byte(`{"version": 1, "skew": -0.5, "churn": [{"at": "3s", "kind": "burst", "node": 0, "procs": 2}]}`))
+	f.Add([]byte(`{"version": 1, "fabric": {"topology": "two-tier", "rack_size": 4, "oversubscription": 2}}`))
+	f.Add([]byte(`{"version": 1, "fabric": {"topology": "flat", "gossip_fanout": 3, "gossip_period": "500ms"}}`))
+	f.Add([]byte(`{"version": 1, "fabric": {"topology": "star"}, "load_vector_len": 7}`))
+	f.Add([]byte(`{"version": 1, "churn": [{"at": "2s", "kind": "balloon", "node": 1, "factor": 8}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s1, err := DecodeSpec(data)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ampom/internal/fabric"
 	"ampom/internal/sched"
 	"ampom/internal/simtime"
 )
@@ -38,10 +39,16 @@ type SchemeStats struct {
 	// Unfinished counts processes still running (or unarrived) at the
 	// horizon.
 	Unfinished int
-	// FinalRTT is the mean spoke-daemon RTT estimate at the end of the run.
+	// FinalRTT is the monitoring plane's mean round-trip estimate at the
+	// end of the run: spoke-daemon RTTs on the star, staleness-derived
+	// dissemination round trips on gossip fabrics.
 	FinalRTT simtime.Duration
 	// Events is the engine's processed-event count.
 	Events uint64
+	// TierUse reports per-tier link counts, aggregate capacity and
+	// carried payload bytes. Populated only on switched fabrics; legacy
+	// star reports keep their pre-fabric shape.
+	TierUse []fabric.TierStats
 }
 
 // Report is the cluster-level outcome of one scenario under every policy.
@@ -128,6 +135,23 @@ func (r *Report) Render() string {
 	line(sep)
 	for _, row := range rows {
 		line(row)
+	}
+	// Per-tier link utilisation, a switched-fabric artefact (the legacy
+	// star table is byte-stable without it).
+	for _, st := range r.Schemes {
+		if len(st.TierUse) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "tiers[%s]:", st.Policy)
+		for _, tu := range st.TierUse {
+			util := 0.0
+			if cap := tu.CapacityBps * st.Makespan.Seconds(); cap > 0 {
+				util = float64(tu.Bytes) / cap
+			}
+			fmt.Fprintf(&b, " %s %d links %.1f MB (%.1f%% util)",
+				tu.Name, tu.Links, float64(tu.Bytes)/1e6, 100*util)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

@@ -1,0 +1,227 @@
+// Report input: the decoding half of the report I/O round trip. Saved
+// report artefacts (ampom-cluster -o) decode back into Reports, and two
+// artefacts can be compared field by field — so a checked-in report
+// becomes a regression gate (`ampom-cluster -diff a.json b.json` exits
+// non-zero on divergence).
+//
+// The comparison works at the on-disk (reportJSON) level: both sides pass
+// through the identical decode transform, so two files are reported equal
+// exactly when their recorded values are equal, independent of the
+// float↔duration conversions the in-memory Report form performs.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"strings"
+
+	"ampom/internal/fabric"
+	"ampom/internal/simtime"
+)
+
+// schemeFromJSON converts one on-disk policy row back to SchemeStats.
+func schemeFromJSON(sj schemeJSON) SchemeStats {
+	st := SchemeStats{
+		Policy:         sj.Policy,
+		Makespan:       simtime.FromSeconds(sj.MakespanS),
+		MeanSlowdown:   sj.MeanSlowdown,
+		SlowdownVsBase: sj.SlowdownVsBase,
+		Migrations:     sj.Migrations,
+		FrozenTotal:    simtime.FromSeconds(sj.FrozenS),
+		ExtraWork:      simtime.FromSeconds(sj.ExtraWorkS),
+		HardFaults:     sj.HardFaults,
+		PrefetchPages:  sj.PrefetchPages,
+		MigrationBytes: sj.MigrationBytes,
+		Unfinished:     sj.Unfinished,
+		FinalRTT:       simtime.FromSeconds(sj.FinalRTTMs / 1e3),
+		Events:         sj.Events,
+	}
+	for _, t := range sj.Tiers {
+		st.TierUse = append(st.TierUse, fabric.TierStats{
+			Name: t.Tier, Links: t.Links, CapacityBps: t.CapacityBps, Bytes: t.Bytes,
+		})
+	}
+	return st
+}
+
+// fromReportJSON rebuilds a Report from its on-disk shape. The spec is
+// shape-validated only: a report may record a run under a custom policy
+// this process never registered, and the artefact must still decode.
+// decodeReportDocs has already gated the format version.
+func (rj reportJSON) fromReportJSON() (*Report, error) {
+	spec, err := rj.Spec.fromJSON()
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.Canonical()
+	if err := spec.validateShape(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Spec: spec, Seed: rj.Seed, Procs: rj.Procs}
+	for _, sj := range rj.Policies {
+		rep.Schemes = append(rep.Schemes, schemeFromJSON(sj))
+	}
+	return rep, nil
+}
+
+// decodeReportDocs parses a report artefact into its on-disk rows: either
+// one report object (ampom-cluster -o on a single scenario) or an array
+// (batch runs). Unknown fields are rejected, as for specs.
+func decodeReportDocs(data []byte) ([]reportJSON, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var docs []reportJSON
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := dec.Decode(&docs); err != nil {
+			return nil, fmt.Errorf("scenario: decoding report array: %w", err)
+		}
+	} else {
+		var one reportJSON
+		if err := dec.Decode(&one); err != nil {
+			return nil, fmt.Errorf("scenario: decoding report: %w", err)
+		}
+		docs = []reportJSON{one}
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing data after report document")
+	}
+	for _, d := range docs {
+		if d.Version != ReportVersion {
+			return nil, fmt.Errorf("scenario: unsupported report version %d (want %d)", d.Version, ReportVersion)
+		}
+	}
+	return docs, nil
+}
+
+// DecodeReports parses a JSON report artefact written by Report.JSON or
+// ReportsJSON — a single object or an array — back into Reports.
+func DecodeReports(data []byte) ([]*Report, error) {
+	docs, err := decodeReportDocs(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Report, 0, len(docs))
+	for _, d := range docs {
+		r, err := d.fromReportJSON()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// LoadReports reads a report artefact from disk.
+func LoadReports(path string) ([]*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return DecodeReports(data)
+}
+
+// jsonFieldName extracts the wire name of a struct field.
+func jsonFieldName(f reflect.StructField) string {
+	tag := f.Tag.Get("json")
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		tag = tag[:i]
+	}
+	if tag == "" {
+		return f.Name
+	}
+	return tag
+}
+
+// diffStructs appends one line per differing field of two like-typed
+// structs, labelling fields by their wire names.
+func diffStructs(prefix string, a, b any, out *[]string) {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	t := va.Type()
+	for i := 0; i < t.NumField(); i++ {
+		fa, fb := va.Field(i).Interface(), vb.Field(i).Interface()
+		if !reflect.DeepEqual(fa, fb) {
+			*out = append(*out, fmt.Sprintf("%s%s: %v != %v", prefix, jsonFieldName(t.Field(i)), fa, fb))
+		}
+	}
+}
+
+// diffDocs compares two decoded report documents row by row.
+func diffDocs(idx int, a, b reportJSON) []string {
+	var out []string
+	label := fmt.Sprintf("report[%d]", idx)
+	if !reflect.DeepEqual(a.Spec, b.Spec) {
+		var specDiffs []string
+		diffStructs(label+": spec.", a.Spec, b.Spec, &specDiffs)
+		out = append(out, specDiffs...)
+	}
+	if a.Seed != b.Seed {
+		out = append(out, fmt.Sprintf("%s: seed %d != %d", label, a.Seed, b.Seed))
+	}
+	if a.Procs != b.Procs {
+		out = append(out, fmt.Sprintf("%s: procs %d != %d", label, a.Procs, b.Procs))
+	}
+	rows := make(map[string]schemeJSON, len(b.Policies))
+	for _, r := range b.Policies {
+		rows[r.Policy] = r
+	}
+	seen := make(map[string]bool, len(a.Policies))
+	for _, ra := range a.Policies {
+		seen[ra.Policy] = true
+		rb, ok := rows[ra.Policy]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: policy %s only in the first report", label, ra.Policy))
+			continue
+		}
+		diffStructs(fmt.Sprintf("%s: %s: ", label, ra.Policy), ra, rb, &out)
+	}
+	for _, rb := range b.Policies {
+		if !seen[rb.Policy] {
+			out = append(out, fmt.Sprintf("%s: policy %s only in the second report", label, rb.Policy))
+		}
+	}
+	return out
+}
+
+// DiffReportsData compares two report artefacts (each a JSON object or
+// array) and returns one human-readable line per divergence — empty means
+// the recorded runs are identical.
+func DiffReportsData(a, b []byte) ([]string, error) {
+	da, err := decodeReportDocs(a)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: first report: %w", err)
+	}
+	db, err := decodeReportDocs(b)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: second report: %w", err)
+	}
+	var out []string
+	if len(da) != len(db) {
+		out = append(out, fmt.Sprintf("report count %d != %d", len(da), len(db)))
+	}
+	n := len(da)
+	if len(db) < n {
+		n = len(db)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, diffDocs(i, da[i], db[i])...)
+	}
+	return out, nil
+}
+
+// DiffReportFiles compares two saved report artefacts by path.
+func DiffReportFiles(pathA, pathB string) ([]string, error) {
+	a, err := os.ReadFile(pathA)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	b, err := os.ReadFile(pathB)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return DiffReportsData(a, b)
+}

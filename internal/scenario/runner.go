@@ -2,9 +2,11 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"ampom/internal/cluster"
 	"ampom/internal/core"
+	"ampom/internal/fabric"
 	"ampom/internal/infod"
 	"ampom/internal/memory"
 	"ampom/internal/netmodel"
@@ -96,13 +98,14 @@ func buildWorkload(spec Spec, seed uint64) (scales []float64, procs []procTempla
 
 // proc is one process's live state during a policy run.
 type proc struct {
-	t         procTemplate
-	pcb       *cluster.PCB
-	remaining simtime.Duration
-	node      int
-	arrived   bool
-	frozen    bool
-	done      bool
+	t           procTemplate
+	pcb         *cluster.PCB
+	remaining   simtime.Duration
+	footprintMB int64 // live footprint: balloon churn grows it mid-run
+	node        int
+	arrived     bool
+	frozen      bool
+	done        bool
 
 	freezeStart simtime.Time
 	finishAt    simtime.Time
@@ -110,7 +113,7 @@ type proc struct {
 }
 
 // migMsg is the freeze-time payload of one migration in flight across the
-// star interconnect. The head node relays spoke-to-spoke transfers.
+// interconnect; the fabric routes it along the topology path.
 type migMsg struct {
 	pid   int
 	dest  int
@@ -125,19 +128,25 @@ type clusterSim struct {
 
 	eng   *sim.Engine
 	nodes []*cluster.Node
-	links []*netmodel.Link // links[i] joins node 0 and node i; links[0] is nil
-	spoke []*infod.Daemon  // spoke[i] lives on node i; spoke[0] is nil
-	head  []*infod.Daemon  // head[i] is node 0's daemon for spoke i
+	ic    fabric.Interconnect
 
 	procs   []*proc
 	doneN   int
 	horizon simtime.Time
 
+	// viewScratch and gvScratch are the reusable row buffers of the
+	// ground-truth and per-source gossip views — balance rounds rebuild
+	// both up to Nodes times per tick, and policies do not retain a view
+	// past ShouldMigrate.
+	viewScratch []sched.NodeView
+	gvScratch   []sched.NodeView
+
 	st SchemeStats
 }
 
-// newClusterSim wires the cluster: nodes, star links, paired infod daemons,
-// the migration payload handlers, arrivals, churn and the two tickers.
+// newClusterSim wires the cluster: nodes, the interconnect fabric with its
+// monitoring plane, the migration payload handlers, arrivals, churn and
+// the two tickers.
 func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.BalancerPolicy, seed uint64) *clusterSim {
 	c := &clusterSim{
 		spec: spec,
@@ -165,31 +174,35 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 		})
 	}
 
-	// Star interconnect with a paired daemon on each end of every spoke.
-	// Daemon jitter seeds come from a stream derived from the scenario
-	// seed, so every policy observes identical daemon behaviour.
-	dcfg := infod.Config{UpdatePeriod: 2 * simtime.Second}
-	drng := prng.New(seed ^ 0x6f4d5f696e666f64) // "oM_infod"
-	c.links = make([]*netmodel.Link, spec.Nodes)
-	c.spoke = make([]*infod.Daemon, spec.Nodes)
-	c.head = make([]*infod.Daemon, spec.Nodes)
-	for i := 1; i < spec.Nodes; i++ {
-		c.links[i] = netmodel.NewLink(c.eng, spec.Network, c.nodes[0].NIC, c.nodes[i].NIC)
-		c.links[i].SetBackgroundLoad(spec.BackgroundLoad)
-		c.head[i] = infod.New(dcfg, c.nodes[0], c.links[i], drng.Uint64())
-		c.spoke[i] = infod.New(dcfg, c.nodes[i], c.links[i], drng.Uint64())
-		infod.Pair(c.head[i], c.spoke[i])
-		c.head[i].Start()
-		c.spoke[i].Start()
+	// The interconnect: topology, per-link queues and the monitoring
+	// plane (paired daemons on the star, gossip on switched fabrics). Its
+	// internal seed streams derive from the scenario seed, so every
+	// policy observes identical daemon behaviour.
+	f := spec.Fabric.Canonical()
+	c.ic = fabric.Build(c.eng, c.nodes, fabric.Config{
+		Kind:           f.Topology,
+		RackSize:       f.RackSize,
+		Oversub:        f.Oversub,
+		GossipFanout:   f.GossipFanout,
+		GossipPeriod:   f.GossipPeriod,
+		Network:        spec.Network,
+		BackgroundLoad: spec.BackgroundLoad,
+		Seed:           seed,
+	})
+	for i := 0; i < spec.Nodes; i++ {
+		if g := c.ic.Gossip(i); g != nil {
+			g.SetProbe(c.probeFor(i))
+		}
 	}
 
 	c.procs = make([]*proc, len(tmpl))
 	for i, t := range tmpl {
 		p := &proc{
-			t:         t,
-			pcb:       cluster.NewPCB(t.id, fmt.Sprintf("p%03d", t.id), c.nodes[t.node]),
-			remaining: t.demand,
-			node:      t.node,
+			t:           t,
+			pcb:         cluster.NewPCB(t.id, fmt.Sprintf("p%03d", t.id), c.nodes[t.node]),
+			remaining:   t.demand,
+			footprintMB: t.footprintMB,
+			node:        t.node,
 		}
 		c.procs[i] = p
 		c.eng.At(t.arriveAt, func() { p.arrived = true })
@@ -201,13 +214,9 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 		case ChurnSlowNode:
 			c.eng.Schedule(ev.At, func() { c.nodes[ev.Node].CPUScale *= ev.Factor })
 		case ChurnNetLoad:
-			c.eng.Schedule(ev.At, func() {
-				for i := 1; i < spec.Nodes; i++ {
-					if ev.Node < 0 || ev.Node == i {
-						c.links[i].SetBackgroundLoad(ev.Factor)
-					}
-				}
-			})
+			c.eng.Schedule(ev.At, func() { c.ic.SetBackgroundLoad(ev.Node, ev.Factor) })
+		case ChurnBalloon:
+			c.eng.Schedule(ev.At, func() { c.balloon(ev) })
 		case ChurnBurst:
 			// Burst processes were pre-drawn into the templates.
 		}
@@ -228,6 +237,45 @@ func fnvHash(s string) uint64 {
 		h *= 1099511628211
 	}
 	return h
+}
+
+// probeFor is node i's local load probe, sampled by its gossip daemon at
+// every push round. The counts mirror the balancer view: frozen migrants
+// belong to their destination node.
+func (c *clusterSim) probeFor(i int) func() infod.LoadSample {
+	return func() infod.LoadSample {
+		var s infod.LoadSample
+		for _, p := range c.procs {
+			if p.arrived && !p.done && p.node == i {
+				s.Queue++
+				s.UsedMemMB += p.footprintMB
+			}
+		}
+		s.Load = float64(s.Queue) / c.nodes[i].CPUScale
+		return s
+	}
+}
+
+// balloon grows the memory footprint of the largest live process on the
+// event's node (ties to the lowest id) by the event factor — a data set
+// expanding mid-run. With nothing live on the node the event is a no-op.
+func (c *clusterSim) balloon(ev ChurnEvent) {
+	var target *proc
+	for _, p := range c.procs {
+		if !p.arrived || p.done || p.node != ev.Node {
+			continue
+		}
+		if target == nil || p.footprintMB > target.footprintMB {
+			target = p
+		}
+	}
+	if target == nil {
+		return
+	}
+	target.footprintMB = int64(float64(target.footprintMB) * ev.Factor)
+	if target.footprintMB < 1 {
+		target.footprintMB = 1
+	}
 }
 
 // run executes the simulation to completion (or the horizon) and finalises
@@ -253,12 +301,13 @@ func (c *clusterSim) run() SchemeStats {
 	}
 	c.st.MeanSlowdown = slow / float64(len(c.procs))
 
-	var rtt simtime.Duration
-	for i := 1; i < c.spec.Nodes; i++ {
-		rtt += c.spoke[i].RTT()
-	}
-	c.st.FinalRTT = rtt / simtime.Duration(c.spec.Nodes-1)
+	c.st.FinalRTT = c.ic.MeanRTT()
 	c.st.Events = c.eng.Processed
+	// Tier utilisation is a switched-fabric artefact; legacy star reports
+	// keep their pre-fabric shape.
+	if !c.spec.Fabric.IsDefault() {
+		c.st.TierUse = c.ic.TierStats()
+	}
 	return c.st
 }
 
@@ -290,17 +339,25 @@ func (c *clusterSim) tick() {
 	}
 }
 
-// view assembles the policy's picture of the cluster: per-node runnable
-// counts (frozen migrants count towards their destination, as in the sched
-// study), CPU-scaled loads, resident memory, and the monitoring daemons'
-// conservative bandwidth estimate. Decisions are charged against this view;
-// the executed migration is then costed with the pair-specific estimate.
+// view assembles the ground-truth picture of the cluster: per-node
+// runnable counts (frozen migrants count towards their destination, as in
+// the sched study), CPU-scaled loads, resident memory, and the monitoring
+// plane's conservative bandwidth estimate. On the legacy star this is
+// exactly what policies decide with; on switched fabrics it only orders
+// the driver's source scan, and decisions see gossipView instead.
 func (c *clusterSim) view() sched.View {
+	if c.viewScratch == nil {
+		c.viewScratch = make([]sched.NodeView, c.spec.Nodes)
+	}
+	for i := range c.viewScratch {
+		c.viewScratch[i] = sched.NodeView{}
+	}
 	v := sched.View{
-		Nodes:         make([]sched.NodeView, c.spec.Nodes),
-		BandwidthBps:  c.clusterBandwidth(),
+		Nodes:         c.viewScratch,
+		BandwidthBps:  c.ic.ClusterBandwidth(),
 		CostThreshold: c.spec.CostThreshold,
 		Rand:          c.prand,
+		SampleLen:     c.spec.LoadVectorLen,
 	}
 	for i := range v.Nodes {
 		v.Nodes[i].CPUScale = c.nodes[i].CPUScale
@@ -309,29 +366,58 @@ func (c *clusterSim) view() sched.View {
 	for _, p := range c.procs {
 		if p.arrived && !p.done {
 			v.Nodes[p.node].Procs++
-			v.Nodes[p.node].UsedMemMB += p.t.footprintMB
+			v.Nodes[p.node].UsedMemMB += p.footprintMB
 		}
 	}
 	for i := range v.Nodes {
 		v.Nodes[i].Load = float64(v.Nodes[i].Procs) / v.Nodes[i].CPUScale
+		v.Nodes[i].QueueLen = v.Nodes[i].Procs
 	}
 	return v
 }
 
-// clusterBandwidth is the tightest spoke-daemon bandwidth estimate — the
-// conservative figure the balancer decides with, since it does not yet know
-// which pair of nodes a migration will cross.
-func (c *clusterSim) clusterBandwidth() float64 {
-	bw := 0.0
-	for i := 1; i < c.spec.Nodes; i++ {
-		if b := c.spoke[i].Bandwidth(); b > 0 && (bw == 0 || b < bw) {
-			bw = b
+// gossipView rewrites the ground-truth view into what the source node's
+// gossip daemon actually knows: every other node's row comes from the
+// daemon's aged entry (or is marked Unknown when gossip has not reached
+// it), while the node's own row stays exact — a node always knows itself.
+// Staleness therefore grows with topology distance, and so do the
+// policies' mistakes.
+func (c *clusterSim) gossipView(src int, base sched.View) sched.View {
+	g := c.ic.Gossip(src)
+	if g == nil {
+		return base
+	}
+	if c.gvScratch == nil {
+		c.gvScratch = make([]sched.NodeView, len(base.Nodes))
+	}
+	v := base
+	v.Nodes = c.gvScratch
+	now := c.eng.Now()
+	for i := range v.Nodes {
+		if i == src {
+			v.Nodes[i] = base.Nodes[i]
+			continue
+		}
+		e := g.Entry(i)
+		if !e.Known {
+			v.Nodes[i] = sched.NodeView{
+				CPUScale: base.Nodes[i].CPUScale,
+				Load:     math.Inf(1),
+				Unknown:  true,
+			}
+			continue
+		}
+		v.Nodes[i] = sched.NodeView{
+			Procs:      e.Sample.Queue,
+			CPUScale:   base.Nodes[i].CPUScale,
+			Load:       e.Sample.Load,
+			UsedMemMB:  e.Sample.UsedMemMB,
+			CapacityMB: c.spec.NodeMemMB,
+			QueueLen:   e.Sample.Queue,
+			InfoAge:    now.Sub(e.Stamp),
 		}
 	}
-	if bw == 0 {
-		bw = c.spec.Network.BandwidthBps
-	}
-	return bw
+	return v
 }
 
 // balance runs one balancing round: up to one migration per node, stopping
@@ -346,16 +432,18 @@ func (c *clusterSim) balance() {
 
 // balanceOnce offers the policy candidates — most loaded nodes first,
 // longest remaining demand first — and executes the first migration it
-// accepts, reporting whether one happened.
+// accepts, reporting whether one happened. On switched fabrics each
+// source's candidates are judged against that source's gossip view.
 func (c *clusterSim) balanceOnce() bool {
-	v := c.view()
-	for _, src := range v.NodesByLoad() {
+	base := c.view()
+	for _, src := range base.NodesByLoad() {
+		v := c.gossipView(src, base)
 		for _, p := range c.candidatesOn(src) {
 			pv := sched.ProcView{
 				ID:             p.t.id,
 				Node:           src,
 				Remaining:      p.remaining,
-				FootprintMB:    p.t.footprintMB,
+				FootprintMB:    p.footprintMB,
 				WorkingSetFrac: p.t.mix.WorkingSetFrac(),
 			}
 			dest, ok := c.pol.ShouldMigrate(v, pv)
@@ -378,10 +466,10 @@ func (c *clusterSim) candidatesOn(node int) []*proc {
 		func(p *proc) simtime.Duration { return p.remaining })
 }
 
-// migrate freezes cand and ships its freeze-time payload across the star:
-// origin spoke to head, relayed to the destination spoke. The freeze ends
-// when the payload lands (network-paced, competing with daemon traffic and
-// other migrations), plus the destination-side restore costs.
+// migrate freezes cand and ships its freeze-time payload across the
+// fabric's topology path (network-paced per hop, competing with daemon
+// traffic and other migrations). The freeze ends when the payload lands,
+// plus the destination-side restore costs.
 func (c *clusterSim) migrate(p *proc, src, dst int) {
 	p.frozen = true
 	p.freezeStart = c.eng.Now()
@@ -394,12 +482,7 @@ func (c *clusterSim) migrate(p *proc, src, dst int) {
 	bytes := c.freezeBytes(p)
 	c.st.MigrationBytes += bytes
 	m := migMsg{pid: p.t.id, dest: dst, bytes: bytes}
-	msg := netmodel.Message{Size: bytes, Payload: m}
-	if src == 0 {
-		c.links[dst].Send(c.nodes[0].NIC, msg)
-	} else {
-		c.links[src].Send(c.nodes[src].NIC, msg)
-	}
+	c.ic.Send(src, dst, netmodel.Message{Size: bytes, Payload: m})
 }
 
 // freezeBytes sizes the freeze-time transfer under the policy: policies
@@ -408,20 +491,16 @@ func (c *clusterSim) migrate(p *proc, src, dst int) {
 // three pages, the 6 B/page MPT, and the PCB.
 func (c *clusterSim) freezeBytes(p *proc) int64 {
 	if s, ok := c.pol.(sched.FreezePayloadSizer); ok {
-		return s.FreezePayloadBytes(p.t.footprintMB) + cluster.RegisterBytes
+		return s.FreezePayloadBytes(p.footprintMB) + cluster.RegisterBytes
 	}
-	pages := footprintPages(p.t.footprintMB)
+	pages := footprintPages(p.footprintMB)
 	return 3*memory.PageSize + pages*memory.PTEntrySize + cluster.RegisterBytes
 }
 
-// deliver consumes a migration payload arriving at node. The head node
-// relays spoke-to-spoke transfers onward; the destination restores the
+// deliver consumes a migration payload arriving at its destination node
+// (the fabric routed and relayed it); the destination restores the
 // process.
 func (c *clusterSim) deliver(node int, m migMsg) {
-	if node == 0 && m.dest != 0 {
-		c.links[m.dest].Send(c.nodes[0].NIC, netmodel.Message{Size: m.bytes, Payload: m})
-		return
-	}
 	if node != m.dest {
 		panic(fmt.Sprintf("scenario: migration payload for node %d delivered to node %d", m.dest, node))
 	}
@@ -433,7 +512,7 @@ func (c *clusterSim) deliver(node int, m migMsg) {
 // at the daemons' estimated bandwidth), and the prefetch census.
 func (c *clusterSim) restore(p *proc, dst int) {
 	cal := 65 * simtime.Millisecond // openMosix protocol base cost
-	pages := footprintPages(p.t.footprintMB)
+	pages := footprintPages(p.footprintMB)
 	src := 0
 	if p.pcb.Home != nil {
 		for i, n := range c.nodes {
@@ -443,7 +522,7 @@ func (c *clusterSim) restore(p *proc, dst int) {
 			}
 		}
 	}
-	bw := c.bandwidthEstimate(src, dst)
+	bw := c.ic.PathBandwidth(src, dst)
 	var extra simtime.Duration
 	if c.remotePages(p, bw) {
 		// MPT install on the destination CPU.
@@ -457,7 +536,7 @@ func (c *clusterSim) restore(p *proc, dst int) {
 		c.st.ExtraWork += extra
 		c.st.MigrationBytes += wsBytes
 
-		hard, pref := c.prefetchCensus(p, c.estimates(src, dst), wsPages)
+		hard, pref := c.prefetchCensus(p, c.ic.PathEstimates(src, dst), wsPages)
 		c.st.HardFaults += hard
 		c.st.PrefetchPages += pref
 	}
@@ -472,7 +551,7 @@ func (c *clusterSim) remotePages(p *proc, bw float64) bool {
 	if rp, ok := c.pol.(sched.RemotePager); ok {
 		return rp.RemotePages()
 	}
-	_, extra := c.pol.MigrationCost(p.t.footprintMB, p.t.mix.WorkingSetFrac(), bw)
+	_, extra := c.pol.MigrationCost(p.footprintMB, p.t.mix.WorkingSetFrac(), bw)
 	return extra > 0
 }
 
@@ -539,42 +618,6 @@ func (c *clusterSim) prefetchCensus(p *proc, est core.Estimates, wsPages int64) 
 		hard = wsPages
 	}
 	return hard, wsPages - hard
-}
-
-// bandwidthEstimate returns the monitoring daemons' view of the available
-// bandwidth on the src→dst path (the tighter spoke wins).
-func (c *clusterSim) bandwidthEstimate(src, dst int) float64 {
-	bw := 0.0
-	for _, n := range []int{src, dst} {
-		if n == 0 {
-			continue
-		}
-		b := c.spoke[n].Bandwidth()
-		if bw == 0 || b < bw {
-			bw = b
-		}
-	}
-	if bw == 0 {
-		bw = c.spec.Network.BandwidthBps
-	}
-	return bw
-}
-
-// estimates assembles the Eq. 3 inputs for a migration path: the spoke
-// RTTs add (two hops through the head), the slower page transfer wins.
-func (c *clusterSim) estimates(src, dst int) core.Estimates {
-	var out core.Estimates
-	for _, n := range []int{src, dst} {
-		if n == 0 {
-			continue
-		}
-		e := c.spoke[n].Estimates()
-		out.RTT += e.RTT
-		if e.PageTransfer > out.PageTransfer {
-			out.PageTransfer = e.PageTransfer
-		}
-	}
-	return out
 }
 
 // Run executes the scenario under the spec's policy set from the single

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 
+	"ampom/internal/fabric"
 	"ampom/internal/memory"
 	"ampom/internal/netmodel"
 	"ampom/internal/prng"
@@ -171,6 +172,95 @@ func (p Placement) String() string {
 	}
 }
 
+// FabricSpec selects the interconnect topology and its dissemination
+// parameters. The zero value is the legacy single-hub star with paired
+// infod daemons — byte-compatible with pre-fabric releases. Switched
+// topologies (two-tier, flat) route payloads hop by hop through per-link
+// queues and replace the paired daemons with decentralised gossip.
+type FabricSpec struct {
+	// Topology selects the interconnect shape. Default: the star.
+	Topology fabric.Kind
+	// RackSize is the number of nodes under one leaf switch (two-tier
+	// only; default 16).
+	RackSize int
+	// Oversub is the core oversubscription ratio (two-tier only;
+	// default 4): a rack's uplink carries RackSize/Oversub node-links'
+	// worth of bandwidth.
+	Oversub float64
+	// GossipFanout is how many random peers each node's daemon pushes its
+	// load vector to per period (switched topologies; default 2).
+	GossipFanout int
+	// GossipPeriod is the gossip push period (switched topologies;
+	// default 2 s, the paired daemons' historical update period).
+	GossipPeriod simtime.Duration
+}
+
+// Canonical resolves the fabric block's defaults. The star zeroes every
+// other field (they are meaningless on it), which keeps the default block
+// a fixed point that fingerprints and encodes as the legacy empty value.
+func (f FabricSpec) Canonical() FabricSpec {
+	if f.Topology == fabric.KindStar {
+		return FabricSpec{}
+	}
+	if f.Topology == fabric.KindTwoTier {
+		if f.RackSize <= 0 {
+			f.RackSize = fabric.DefaultRackSize
+		}
+		if f.Oversub == 0 {
+			f.Oversub = fabric.DefaultOversub
+		}
+	} else {
+		f.RackSize, f.Oversub = 0, 0
+	}
+	if f.GossipFanout <= 0 {
+		f.GossipFanout = fabric.DefaultGossipFanout
+	}
+	if f.GossipPeriod == 0 {
+		f.GossipPeriod = fabric.DefaultGossipPeriod
+	}
+	return f
+}
+
+// IsDefault reports whether the block is the legacy star default.
+func (f FabricSpec) IsDefault() bool { return f.Topology == fabric.KindStar }
+
+// Validate reports the first structural problem of the canonical block.
+func (f FabricSpec) Validate() error {
+	f = f.Canonical()
+	switch f.Topology {
+	case fabric.KindStar:
+		return nil
+	case fabric.KindTwoTier:
+		if f.RackSize < 2 {
+			return fmt.Errorf("scenario: fabric rack size %d below 2", f.RackSize)
+		}
+		if f.Oversub <= 0 || f.Oversub > 64 {
+			return fmt.Errorf("scenario: fabric oversubscription %g out of (0,64]", f.Oversub)
+		}
+	case fabric.KindFlat:
+		// No shape parameters.
+	default:
+		return fmt.Errorf("scenario: unknown fabric topology %v", f.Topology)
+	}
+	if f.GossipFanout < 1 || f.GossipFanout > 64 {
+		return fmt.Errorf("scenario: gossip fanout %d out of [1,64]", f.GossipFanout)
+	}
+	if f.GossipPeriod <= 0 {
+		return fmt.Errorf("scenario: non-positive gossip period %v", f.GossipPeriod)
+	}
+	return nil
+}
+
+// String names the block in fingerprints.
+func (f FabricSpec) String() string {
+	f = f.Canonical()
+	if f.IsDefault() {
+		return f.Topology.String()
+	}
+	return fmt.Sprintf("%s/%d/%g/%d/%d",
+		f.Topology, f.RackSize, f.Oversub, f.GossipFanout, int64(f.GossipPeriod))
+}
+
 // ChurnKind names a mid-run disturbance.
 type ChurnKind uint8
 
@@ -184,6 +274,11 @@ const (
 	// ChurnNetLoad sets the background-load fraction of every spoke link
 	// (Node < 0) or one node's spoke (Node >= 1) to Factor at time At.
 	ChurnNetLoad
+	// ChurnBalloon multiplies the memory footprint of the largest live
+	// process on node Node by Factor at time At (an in-memory data set
+	// growing mid-run) — the dynamic pressure that exercises memory
+	// ushering beyond skewed arrival.
+	ChurnBalloon
 )
 
 // String names the kind.
@@ -195,6 +290,8 @@ func (k ChurnKind) String() string {
 		return "burst"
 	case ChurnNetLoad:
 		return "net-load"
+	case ChurnBalloon:
+		return "balloon"
 	default:
 		return fmt.Sprintf("ChurnKind(%d)", uint8(k))
 	}
@@ -205,7 +302,7 @@ type ChurnEvent struct {
 	At     simtime.Duration
 	Kind   ChurnKind
 	Node   int     // target node (ChurnNetLoad: -1 means every spoke)
-	Factor float64 // ChurnSlowNode: CPU multiplier; ChurnNetLoad: load fraction
+	Factor float64 // ChurnSlowNode: CPU multiplier; ChurnNetLoad: load fraction; ChurnBalloon: footprint multiplier
 	Procs  int     // ChurnBurst: how many processes arrive
 }
 
@@ -257,11 +354,21 @@ type Spec struct {
 	// baseline the slowdown ratios divide by.
 	Policies []string
 
-	// Network is the spoke-link profile of the star interconnect (zero
+	// Network is the per-node link profile of the interconnect (zero
 	// value: Fast Ethernet). BackgroundLoad is the initial fraction of
-	// spoke bandwidth consumed by competing traffic.
+	// node-link bandwidth consumed by competing traffic.
 	Network        netmodel.Profile
 	BackgroundLoad float64
+
+	// Fabric selects the interconnect topology (star, two-tier, flat) and
+	// the gossip dissemination parameters of the switched topologies. The
+	// zero value is the legacy star with paired daemons.
+	Fabric FabricSpec
+	// LoadVectorLen lifts the sampling policies' sample size l (the
+	// number of peer entries one balancing decision inspects) out of the
+	// built-in constants. Zero keeps each policy's default (load-vector 3,
+	// queue-gossip 8); values of Nodes-1 or more mean full knowledge.
+	LoadVectorLen int
 
 	// BalancePeriod is the load balancer's decision interval (default 1 s);
 	// CostThreshold its safety factor (default 1.25).
@@ -320,6 +427,7 @@ func (s Spec) Canonical() Spec {
 	if s.Network.BandwidthBps == 0 {
 		s.Network = netmodel.FastEthernet()
 	}
+	s.Fabric = s.Fabric.Canonical()
 	if s.BalancePeriod == 0 {
 		s.BalancePeriod = simtime.Second
 	}
@@ -356,8 +464,23 @@ func canonicalPolicies(names []string) []string {
 	return out
 }
 
-// Validate reports the first structural problem of the canonical spec.
+// Validate reports the first structural problem of the canonical spec,
+// including policy names that resolve to no registered policy.
 func (s Spec) Validate() error {
+	if err := s.validateShape(); err != nil {
+		return err
+	}
+	if _, err := sched.ByNames(s.Canonical().Policies); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// validateShape checks everything Validate does except the policy-registry
+// lookup. Report decoding uses it directly: a saved report may record a
+// run under a custom policy the decoding process never registered, and the
+// artefact must still be readable.
+func (s Spec) validateShape() error {
 	s = s.Canonical()
 	if s.Nodes < 2 {
 		return fmt.Errorf("scenario: need at least 2 nodes, have %d", s.Nodes)
@@ -385,11 +508,14 @@ func (s Spec) Validate() error {
 	if s.CostThreshold <= 0 {
 		return fmt.Errorf("scenario: non-positive cost threshold %g", s.CostThreshold)
 	}
-	if _, err := sched.ByNames(s.Policies); err != nil {
-		return fmt.Errorf("scenario: %w", err)
-	}
 	if s.BackgroundLoad < 0 || s.BackgroundLoad > 0.95 {
 		return fmt.Errorf("scenario: background load %g out of [0,0.95]", s.BackgroundLoad)
+	}
+	if err := s.Fabric.Validate(); err != nil {
+		return err
+	}
+	if s.LoadVectorLen < 0 || s.LoadVectorLen > 4096 {
+		return fmt.Errorf("scenario: load-vector sample size %d out of [0,4096]", s.LoadVectorLen)
 	}
 	total := 0
 	for _, m := range s.Mix {
@@ -424,11 +550,20 @@ func (s Spec) Validate() error {
 				return fmt.Errorf("scenario: churn[%d] burst of %d processes", i, c.Procs)
 			}
 		case ChurnNetLoad:
-			if c.Node == 0 || c.Node >= s.Nodes {
+			// On the star, node 0 is the hub and has no link of its own;
+			// switched fabrics give every node an edge link.
+			if c.Node >= s.Nodes || (c.Node == 0 && s.Fabric.IsDefault()) {
 				return fmt.Errorf("scenario: churn[%d] net-load targets node %d of %d (0 is the hub; use -1 for all spokes)", i, c.Node, s.Nodes)
 			}
 			if c.Factor < 0 || c.Factor > 0.95 {
 				return fmt.Errorf("scenario: churn[%d] net-load %g out of [0,0.95]", i, c.Factor)
+			}
+		case ChurnBalloon:
+			if c.Node < 0 || c.Node >= s.Nodes {
+				return fmt.Errorf("scenario: churn[%d] balloon targets node %d of %d", i, c.Node, s.Nodes)
+			}
+			if c.Factor <= 0 {
+				return fmt.Errorf("scenario: churn[%d] balloon factor %g must be positive", i, c.Factor)
 			}
 		default:
 			return fmt.Errorf("scenario: churn[%d] unknown kind %v", i, c.Kind)
@@ -466,6 +601,15 @@ func (s Spec) Fingerprint() string {
 		}
 		fmt.Fprintf(&b, "%s@%d:n%d/f%g/p%d", c.Kind, int64(c.At), c.Node, c.Factor, c.Procs)
 	}
+	// The fabric and sample-size segments are appended only when they
+	// leave their defaults, so pre-fabric specs keep their exact job keys
+	// (and therefore their campaign-derived seeds and cache cells).
+	if !s.Fabric.IsDefault() {
+		fmt.Fprintf(&b, "|fabric=%s", s.Fabric)
+	}
+	if s.LoadVectorLen > 0 {
+		fmt.Fprintf(&b, "|l=%d", s.LoadVectorLen)
+	}
 	return b.String()
 }
 
@@ -483,7 +627,7 @@ func (s Spec) String() string {
 
 // PresetNames lists the built-in scenarios in presentation order.
 func PresetNames() []string {
-	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks"}
+	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks", "rack-farm", "gossip-mesh"}
 }
 
 // Preset returns a named built-in scenario. The names model the cluster
@@ -580,6 +724,57 @@ func Preset(name string) (Spec, error) {
 			},
 			Churn: []ChurnEvent{
 				{At: 12 * simtime.Second, Kind: ChurnSlowNode, Node: 2, Factor: 0.6},
+			},
+		}.Canonical(), nil
+	case "rack-farm":
+		// The switched-fabric acceptance scenario: a 512-node, 16-rack farm
+		// launching 2048 ranks round-robin. A fifth of the machines are a
+		// generation older, so migration has to rescue stragglers across
+		// racks — through oversubscribed uplinks, with gossip-aged load
+		// information (the multi-rack farms of the openMosix HPC-farm
+		// literature, an order of magnitude past the hpc-farm preset).
+		return Spec{
+			Name:            "rack-farm",
+			Nodes:           512,
+			Procs:           2048,
+			SlowFrac:        0.2,
+			SlowScale:       0.5,
+			Arrival:         ArrivalBatch,
+			Placement:       PlaceRoundRobin,
+			MeanCompute:     5 * simtime.Second,
+			MeanFootprintMB: 64,
+			CostThreshold:   1.1,
+			Fabric: FabricSpec{
+				Topology: fabric.KindTwoTier,
+				RackSize: 32,
+				Oversub:  4,
+			},
+			Mix: []MixWeight{
+				{Kind: MixSequential, Weight: 3},
+				{Kind: MixBlocked, Weight: 1},
+			},
+		}.Canonical(), nil
+	case "gossip-mesh":
+		// A flat full-bisection fabric whose monitoring is pure gossip: a
+		// skewed burst lands on a 96-node mesh and the balancer policies
+		// must spread it while their picture of far nodes ages — the
+		// decentralised MOSIX dissemination regime, with no hub at all.
+		return Spec{
+			Name:            "gossip-mesh",
+			Nodes:           96,
+			Procs:           384,
+			Arrival:         ArrivalBatch,
+			Placement:       PlaceSkewed,
+			Skew:            0.3,
+			MeanCompute:     5 * simtime.Second,
+			MeanFootprintMB: 96,
+			Fabric: FabricSpec{
+				Topology:     fabric.KindFlat,
+				GossipFanout: 3,
+			},
+			Mix: []MixWeight{
+				{Kind: MixSequential, Weight: 2},
+				{Kind: MixRandom, Weight: 1},
 			},
 		}.Canonical(), nil
 	default:

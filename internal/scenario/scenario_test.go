@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"ampom/internal/fabric"
 	"ampom/internal/sched"
 	"ampom/internal/simtime"
 )
@@ -316,6 +317,144 @@ func TestHeterogeneousScales(t *testing.T) {
 	}
 	if slow != 1 || fast != 1 || ref != 2 {
 		t.Fatalf("tier split %d/%d/%d, want 1 slow, 1 fast, 2 reference", slow, fast, ref)
+	}
+}
+
+func TestBalloonChurnPressuresUsher(t *testing.T) {
+	// A cluster with headroom: without the balloon, nothing crosses the
+	// usher's high-water mark; with a mid-run footprint explosion on the
+	// loaded node, ushering must evacuate.
+	spec := small()
+	spec.NodeMemMB = 24 * spec.MeanFootprintMB
+	calm := MustRun(spec, 42)
+	calmUsher, ok := calm.Scheme(sched.NameMemUsher)
+	if !ok {
+		t.Fatal("no mem-usher row")
+	}
+	if calmUsher.Migrations != 0 {
+		t.Fatalf("headroom cluster ushered %d times without pressure", calmUsher.Migrations)
+	}
+
+	spec.Churn = []ChurnEvent{
+		{At: 2 * simtime.Second, Kind: ChurnBalloon, Node: 0, Factor: 16},
+		{At: 3 * simtime.Second, Kind: ChurnBalloon, Node: 0, Factor: 4},
+	}
+	ballooned := MustRun(spec, 42)
+	usher, ok := ballooned.Scheme(sched.NameMemUsher)
+	if !ok {
+		t.Fatal("no mem-usher row")
+	}
+	if usher.Migrations == 0 {
+		t.Fatal("balloon churn triggered no ushering")
+	}
+	if calm.Render() == ballooned.Render() {
+		t.Fatal("balloon churn changed nothing")
+	}
+	if spec.Fingerprint() == small().Fingerprint() {
+		t.Fatal("balloon churn missing from the fingerprint")
+	}
+}
+
+func TestBalloonValidation(t *testing.T) {
+	bad := []Spec{
+		{Churn: []ChurnEvent{{Kind: ChurnBalloon, Node: 99, Factor: 2}}},
+		{Churn: []ChurnEvent{{Kind: ChurnBalloon, Node: 0, Factor: 0}}},
+		{Churn: []ChurnEvent{{Kind: ChurnBalloon, Node: 0, Factor: -1}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad balloon spec %d accepted: %+v", i, s)
+		}
+	}
+	ok := small()
+	ok.Churn = []ChurnEvent{{At: simtime.Second, Kind: ChurnBalloon, Node: 1, Factor: 2.5}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid balloon rejected: %v", err)
+	}
+}
+
+func TestLoadVectorLenFromSpec(t *testing.T) {
+	// The sample size l is behaviour-bearing and fingerprinted: a 1-entry
+	// vector decides with far less knowledge than the built-in default.
+	wide := small()
+	wide.Procs = 48
+	narrow := wide
+	narrow.LoadVectorLen = 1
+	if wide.Fingerprint() == narrow.Fingerprint() {
+		t.Fatal("LoadVectorLen missing from the fingerprint")
+	}
+	if MustRun(wide, 42).Render() == MustRun(narrow, 42).Render() {
+		t.Fatal("shrinking the load vector changed nothing")
+	}
+	// l >= Nodes-1 means full knowledge — the load-vector policy then
+	// behaves like the classic target and still migrates.
+	full := wide
+	full.LoadVectorLen = wide.Nodes
+	lv, ok := MustRun(full, 42).Scheme(sched.NameLoadVector)
+	if !ok {
+		t.Fatal("no load-vector row")
+	}
+	if lv.Migrations == 0 {
+		t.Fatal("full-knowledge load vector migrated nothing on a skewed burst")
+	}
+	bad := wide
+	bad.LoadVectorLen = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative sample size accepted")
+	}
+}
+
+func TestFabricSpecCanonicalAndValidate(t *testing.T) {
+	// The star zeroes the block (the legacy fixed point).
+	star := FabricSpec{Topology: fabric.KindStar, RackSize: 8, GossipFanout: 5}
+	if got := star.Canonical(); got != (FabricSpec{}) {
+		t.Fatalf("star canonicalised to %+v, want the zero block", got)
+	}
+	// Two-tier resolves shape and gossip defaults; flat drops the shape.
+	tt := FabricSpec{Topology: fabric.KindTwoTier}.Canonical()
+	if tt.RackSize != 16 || tt.Oversub != 4 || tt.GossipFanout != 2 || tt.GossipPeriod != 2*simtime.Second {
+		t.Fatalf("two-tier defaults wrong: %+v", tt)
+	}
+	fl := FabricSpec{Topology: fabric.KindFlat, RackSize: 9, Oversub: 2}.Canonical()
+	if fl.RackSize != 0 || fl.Oversub != 0 {
+		t.Fatalf("flat kept two-tier shape fields: %+v", fl)
+	}
+	for _, f := range []FabricSpec{
+		{Topology: fabric.KindTwoTier, RackSize: 1},
+		{Topology: fabric.KindTwoTier, Oversub: -1},
+		{Topology: fabric.KindFlat, GossipFanout: 65},
+		{Topology: fabric.KindFlat, GossipPeriod: -simtime.Second},
+		{Topology: fabric.Kind(99)},
+	} {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad fabric block accepted: %+v", f)
+		}
+	}
+	// Fixed point through Spec.Canonical too.
+	s := small()
+	s.Fabric = FabricSpec{Topology: fabric.KindTwoTier, RackSize: 4}
+	if s.Canonical().Fingerprint() != s.Canonical().Canonical().Fingerprint() {
+		t.Fatal("fabric block breaks the Canonical fixed point")
+	}
+}
+
+func TestNewPresetsShape(t *testing.T) {
+	rack, err := Preset("rack-farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rack.Nodes != 512 || rack.Procs != 2048 {
+		t.Fatalf("rack-farm is %dn/%dp, want 512/2048", rack.Nodes, rack.Procs)
+	}
+	if rack.Fabric.Topology != fabric.KindTwoTier || rack.Fabric.RackSize != 32 {
+		t.Fatalf("rack-farm fabric %+v, want two-tier with 32-node racks", rack.Fabric)
+	}
+	mesh, err := Preset("gossip-mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Fabric.Topology != fabric.KindFlat || mesh.Fabric.GossipFanout != 3 {
+		t.Fatalf("gossip-mesh fabric %+v, want flat with fanout 3", mesh.Fabric)
 	}
 }
 

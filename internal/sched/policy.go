@@ -35,6 +35,17 @@ type NodeView struct {
 	UsedMemMB int64
 	// CapacityMB is the node's physical memory.
 	CapacityMB int64
+	// QueueLen is the node's runnable-queue length as disseminated to the
+	// deciding node: gossip-aged on switched fabrics, exact (equal to
+	// Procs) on the legacy star and in the §7 study.
+	QueueLen int
+	// InfoAge is how stale this row's dissemination entry is. Zero means
+	// ground truth (or a fresh gossip entry).
+	InfoAge simtime.Duration
+	// Unknown marks a row the deciding node has no dissemination entry
+	// for yet — gossip has not reached it. Policies must not target
+	// unknown rows; the zero value (known) keeps hand-built views working.
+	Unknown bool
 }
 
 // ProcView is the migration candidate a policy is asked about.
@@ -66,6 +77,11 @@ type View struct {
 	// draw from it; deterministic policies ignore it. May be nil, in which
 	// case probabilistic policies fall back to full knowledge.
 	Rand *prng.Source
+	// SampleLen, when positive, overrides the sample size l of the
+	// sampling policies (load-vector, queue-gossip). Zero keeps each
+	// policy's built-in default. Scenario runs populate it from
+	// Spec.LoadVectorLen.
+	SampleLen int
 }
 
 // BalancerPolicy decides when and where the load balancer migrates. The
@@ -119,6 +135,7 @@ const (
 	NameMemUsher    = "mem-usher"
 	NameNoMigration = "no-migration"
 	NameOpenMosix   = "openMosix"
+	NameQueueGossip = "queue-gossip"
 )
 
 // BaselineName is the policy every report's slowdown ratios divide by.
@@ -303,8 +320,12 @@ func (loadVector) MigrationCost(footprintMB int64, wsFrac, bandwidthBps float64)
 
 func (p loadVector) ShouldMigrate(v View, proc ProcView) (int, bool) {
 	n := len(v.Nodes)
+	l := p.vectorLen
+	if v.SampleLen > 0 {
+		l = v.SampleLen
+	}
 	dest, know := -1, false
-	if v.Rand == nil || p.vectorLen >= n-1 {
+	if v.Rand == nil || l >= n-1 {
 		// Full knowledge degenerates to the classic target.
 		if d := v.LeastLoaded(); d != proc.Node {
 			dest, know = d, true
@@ -313,9 +334,9 @@ func (p loadVector) ShouldMigrate(v View, proc ProcView) (int, bool) {
 		// Draw the l peers whose loads reached this node's vector. Peers can
 		// repeat (gossip is redundant); the sample is still deterministic per
 		// run because the stream is seeded from (scenario seed, policy name).
-		for i := 0; i < p.vectorLen; i++ {
+		for i := 0; i < l; i++ {
 			c := v.Rand.Intn(n)
-			if c == proc.Node {
+			if c == proc.Node || v.Nodes[c].Unknown {
 				continue
 			}
 			if !know || v.Nodes[c].Load < v.Nodes[dest].Load ||
@@ -375,6 +396,66 @@ func (p memUsher) ShouldMigrate(v View, proc ProcView) (int, bool) {
 	return best, true
 }
 
+// queueGossip consumes the gossip-aged queue lengths the decentralised
+// infod dissemination carries (NodeView.QueueLen/InfoAge): it samples l
+// known peers from the deciding node's vector, targets the shortest
+// CPU-scaled queue (freshest entry on ties), requires a real queue gap
+// even after the candidate lands, and applies the cost-benefit rule on
+// the lightweight substrate. On a fabric where entries age with topology
+// distance, the policy's picture of far racks lags — the price of
+// decentralisation the gossip literature trades for scalability.
+type queueGossip struct {
+	// sample is l, how many vector entries one decision inspects.
+	sample int
+}
+
+func (queueGossip) Name() string { return NameQueueGossip }
+
+func (queueGossip) MigrationCost(footprintMB int64, wsFrac, bandwidthBps float64) (simtime.Duration, simtime.Duration) {
+	return LightweightCost(footprintMB, wsFrac, bandwidthBps)
+}
+
+func (p queueGossip) ShouldMigrate(v View, proc ProcView) (int, bool) {
+	n := len(v.Nodes)
+	l := p.sample
+	if v.SampleLen > 0 {
+		l = v.SampleLen
+	}
+	scaledQ := func(c int, extra int) float64 {
+		return float64(v.Nodes[c].QueueLen+extra) / v.Nodes[c].CPUScale
+	}
+	dest, know := -1, false
+	consider := func(c int) {
+		if c == proc.Node || v.Nodes[c].Unknown {
+			return
+		}
+		if !know || scaledQ(c, 0) < scaledQ(dest, 0) ||
+			(scaledQ(c, 0) == scaledQ(dest, 0) &&
+				(v.Nodes[c].InfoAge < v.Nodes[dest].InfoAge ||
+					(v.Nodes[c].InfoAge == v.Nodes[dest].InfoAge && c < dest))) {
+			dest, know = c, true
+		}
+	}
+	if v.Rand == nil || l >= n-1 {
+		for c := range v.Nodes {
+			consider(c)
+		}
+	} else {
+		for i := 0; i < l; i++ {
+			consider(v.Rand.Intn(n))
+		}
+	}
+	// The gap must survive the candidate joining the destination queue.
+	if !know || scaledQ(proc.Node, 0) <= scaledQ(dest, 1) {
+		return 0, false
+	}
+	freeze, extra := LightweightCost(proc.FootprintMB, proc.WorkingSetFrac, v.BandwidthBps)
+	if !v.Clears(proc, dest, freeze, extra) {
+		return 0, false
+	}
+	return dest, true
+}
+
 // The built-in policy instances, usable directly without a registry lookup.
 var (
 	NoMigrationPolicy BalancerPolicy = noMigration{}
@@ -382,6 +463,7 @@ var (
 	AMPoMPolicy       BalancerPolicy = ampom{}
 	LoadVectorPolicy  BalancerPolicy = loadVector{vectorLen: 3}
 	MemUsherPolicy    BalancerPolicy = memUsher{highWater: 0.85, lowWater: 0.6}
+	QueueGossipPolicy BalancerPolicy = queueGossip{sample: 8}
 )
 
 // The registry. Policies are keyed by Name(); enumeration is always in
@@ -395,6 +477,7 @@ var (
 func init() {
 	for _, p := range []BalancerPolicy{
 		NoMigrationPolicy, OpenMosixPolicy, AMPoMPolicy, LoadVectorPolicy, MemUsherPolicy,
+		QueueGossipPolicy,
 	} {
 		MustRegister(p)
 	}

@@ -13,7 +13,7 @@ func TestRegistrySortedAndComplete(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("registry names not sorted: %v", names)
 	}
-	for _, want := range []string{NameNoMigration, NameOpenMosix, NameAMPoM, NameLoadVector, NameMemUsher} {
+	for _, want := range []string{NameNoMigration, NameOpenMosix, NameAMPoM, NameLoadVector, NameMemUsher, NameQueueGossip} {
 		p, ok := Lookup(want)
 		if !ok {
 			t.Fatalf("built-in policy %q not registered", want)
@@ -67,7 +67,7 @@ func view(loads []int) View {
 		CostThreshold: 1.25,
 	}
 	for i, n := range loads {
-		v.Nodes[i] = NodeView{Procs: n, CPUScale: 1, Load: float64(n), CapacityMB: 1024}
+		v.Nodes[i] = NodeView{Procs: n, CPUScale: 1, Load: float64(n), QueueLen: n, CapacityMB: 1024}
 	}
 	return v
 }
@@ -131,6 +131,101 @@ func TestLoadVectorSeesOnlyASample(t *testing.T) {
 	v.Rand = nil
 	if dest, ok := LoadVectorPolicy.ShouldMigrate(v, p); !ok || dest != 1 {
 		t.Fatalf("nil-stream fallback chose (%d, %v), want node 1", dest, ok)
+	}
+}
+
+func TestQueueGossipTargetsShortQueues(t *testing.T) {
+	// Full knowledge (nil stream): the shortest scaled queue wins.
+	v := view([]int{12, 3, 0, 5})
+	p := ProcView{Node: 0, Remaining: 30 * simtime.Second, FootprintMB: 64, WorkingSetFrac: 0.5}
+	dest, ok := QueueGossipPolicy.ShouldMigrate(v, p)
+	if !ok || dest != 2 {
+		t.Fatalf("full-knowledge queue-gossip chose (%d, %v), want node 2", dest, ok)
+	}
+	// Sampled: stays in range and still evacuates the long queue.
+	v.Rand = prng.New(5)
+	migrated := 0
+	for i := 0; i < 50; i++ {
+		dest, ok := QueueGossipPolicy.ShouldMigrate(v, p)
+		if !ok {
+			continue
+		}
+		migrated++
+		if dest <= 0 || dest >= len(v.Nodes) {
+			t.Fatalf("destination %d out of range", dest)
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("queue-gossip never migrated off a 12-proc node")
+	}
+	// No gap once the candidate joins the destination: hold.
+	flat := view([]int{2, 1, 1, 1})
+	if _, ok := QueueGossipPolicy.ShouldMigrate(flat, p); ok {
+		t.Fatal("migrated with no post-join queue gap")
+	}
+}
+
+func TestQueueGossipSkipsUnknownAndPrefersFresh(t *testing.T) {
+	p := ProcView{Node: 0, Remaining: 30 * simtime.Second, FootprintMB: 64, WorkingSetFrac: 0.5}
+	// Unknown rows are never targeted, even with the shortest queue.
+	v := view([]int{12, 0, 4})
+	v.Nodes[1].Unknown = true
+	dest, ok := QueueGossipPolicy.ShouldMigrate(v, p)
+	if !ok || dest != 2 {
+		t.Fatalf("chose (%d, %v) with node 1 unknown, want node 2", dest, ok)
+	}
+	// Everything unknown: hold.
+	all := view([]int{12, 0, 0})
+	all.Nodes[1].Unknown = true
+	all.Nodes[2].Unknown = true
+	if _, ok := QueueGossipPolicy.ShouldMigrate(all, p); ok {
+		t.Fatal("migrated with every peer unknown")
+	}
+	// Equal queues: the fresher entry wins.
+	tie := view([]int{12, 1, 1})
+	tie.Nodes[1].InfoAge = 8 * simtime.Second
+	tie.Nodes[2].InfoAge = simtime.Second
+	dest, ok = QueueGossipPolicy.ShouldMigrate(tie, p)
+	if !ok || dest != 2 {
+		t.Fatalf("chose (%d, %v) on an age tie-break, want the fresher node 2", dest, ok)
+	}
+}
+
+func TestSampleLenOverridesBuiltins(t *testing.T) {
+	// SampleLen >= n-1 forces full knowledge on both sampling policies:
+	// with a stream that would otherwise sample, the answer matches the
+	// nil-stream (full-knowledge) choice.
+	v := view([]int{12, 0, 4, 4, 4, 4, 4, 4})
+	p := ProcView{Node: 0, Remaining: 30 * simtime.Second, FootprintMB: 64, WorkingSetFrac: 0.5}
+	for _, pol := range []BalancerPolicy{LoadVectorPolicy, QueueGossipPolicy} {
+		want, wantOK := pol.ShouldMigrate(v, p)
+		sampled := v
+		sampled.Rand = prng.New(11)
+		sampled.SampleLen = len(v.Nodes)
+		got, gotOK := pol.ShouldMigrate(sampled, p)
+		if got != want || gotOK != wantOK {
+			t.Fatalf("%s: SampleLen=n gave (%d, %v), full knowledge gives (%d, %v)",
+				pol.Name(), got, gotOK, want, wantOK)
+		}
+	}
+	// SampleLen=1 with a stream draws exactly one candidate per decision —
+	// decisions must stay in range and sometimes hold (partial knowledge).
+	one := v
+	one.Rand = prng.New(11)
+	one.SampleLen = 1
+	held := false
+	for i := 0; i < 40; i++ {
+		dest, ok := QueueGossipPolicy.ShouldMigrate(one, p)
+		if !ok {
+			held = true
+			continue
+		}
+		if dest <= 0 || dest >= len(one.Nodes) {
+			t.Fatalf("destination %d out of range", dest)
+		}
+	}
+	if !held {
+		t.Fatal("1-entry sample never held back — it is not sampling")
 	}
 }
 

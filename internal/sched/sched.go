@@ -287,6 +287,8 @@ func makeView(cfg Config, jobs []*job, rand *prng.Source) View {
 	}
 	for i := range v.Nodes {
 		v.Nodes[i].Load = float64(v.Nodes[i].Procs)
+		// The study has no dissemination plane: every row is ground truth.
+		v.Nodes[i].QueueLen = v.Nodes[i].Procs
 	}
 	return v
 }
