@@ -394,6 +394,23 @@ func DiffScenarioReportFiles(pathA, pathB string) ([]string, error) {
 	return scenario.DiffReportFiles(pathA, pathB)
 }
 
+// ScenarioDiffOptions tunes report comparison: per-column relative
+// epsilons for the float columns (counts always compare exactly) and the
+// per-column summary mode. The zero value is the exact gate.
+type ScenarioDiffOptions = scenario.DiffOptions
+
+// DiffScenarioReportsOpts compares two report artefacts under explicit
+// comparison options.
+func DiffScenarioReportsOpts(a, b []byte, opts ScenarioDiffOptions) ([]string, error) {
+	return scenario.DiffReportsDataOpts(a, b, opts)
+}
+
+// DiffScenarioReportFilesOpts compares two saved report artefacts by path
+// under explicit comparison options.
+func DiffScenarioReportFilesOpts(pathA, pathB string, opts ScenarioDiffOptions) ([]string, error) {
+	return scenario.DiffReportFilesOpts(pathA, pathB, opts)
+}
+
 // LiveProgramFor drains the scenario mix's page-reference trace into a live
 // emulation program over the given footprint: the simulated scenarios and
 // the real-TCP livecluster example replay one access shape. The trace spans

@@ -1,0 +1,151 @@
+// Command ampom-benchjson converts `go test -bench` output into a stable
+// JSON artefact, so the repository's performance trajectory (the fabric
+// event-budget gates above all) is machine-readable and diffable across
+// PRs instead of living in CI logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkFabric' -benchtime 1x . | ampom-benchjson -o BENCH_fabric.json
+//	ampom-benchjson -i bench.txt            # read a saved log instead of stdin
+//
+// Every benchmark result line ("BenchmarkName  N  value unit  value unit
+// ...") becomes one JSON record carrying the iteration count, ns/op, and
+// every custom metric (events/sim-s, migrations, B/op, allocs/op) under
+// its reported unit. Non-benchmark lines (goos/pkg/PASS headers) pass
+// through silently; a log with no benchmark lines is an error, so a CI
+// wiring mistake cannot publish an empty artefact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ampom/internal/cli"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// document is the artefact shape: results sorted by benchmark name under
+// a version gate, like the scenario report artefacts — stable however the
+// bench regexp ordered the runs.
+type document struct {
+	Version    int      `json:"version"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// Version is the artefact format version.
+const Version = 1
+
+// gomaxprocsSuffix strips the "-8"-style GOMAXPROCS suffix go test appends
+// to benchmark names, so artefacts compare across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine decodes one benchmark result line, reporting ok=false for
+// non-benchmark lines.
+func parseLine(line string) (result, bool, error) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false, nil
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, then (value, unit) pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false, fmt.Errorf("benchmark line %q: bad iteration count: %v", line, err)
+	}
+	r := result{
+		Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false, fmt.Errorf("benchmark line %q: bad value %q: %v", line, fields[i], err)
+		}
+		if fields[i+1] == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true, nil
+}
+
+// convert parses a full benchmark log into the artefact encoding.
+func convert(in io.Reader) ([]byte, error) {
+	var doc document
+	doc.Version = Version
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		r, ok, err := parseLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines in input")
+	}
+	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func main() {
+	input := flag.String("i", "", "read the benchmark log from this file (default: stdin)")
+	output := flag.String("o", "", "write the JSON artefact to this file (default: stdout)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		cli.Usage("unexpected arguments %v", flag.Args())
+	}
+
+	in := io.Reader(os.Stdin)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			cli.Fail("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := convert(in)
+	if err != nil {
+		cli.Fail("%v", err)
+	}
+	if *output == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	cli.Check(os.WriteFile(*output, data, 0o644))
+}

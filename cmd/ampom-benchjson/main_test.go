@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ampom/internal/cli"
+	"ampom/internal/clitest"
+)
+
+// sample mirrors real `go test -bench` output: headers, a plain benchmark,
+// one with custom metrics and a GOMAXPROCS suffix, and the PASS trailer.
+const sample = `goos: linux
+goarch: amd64
+pkg: ampom
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFabric512 	       1	1304924710 ns/op	      3279 AMPoM_ev_per_sim_s	        95.00 qg_migrations	1113295496 B/op	 1555518 allocs/op
+BenchmarkFabric4096-8 	       1	45000000000 ns/op	     13503 AMPoM_ev_per_sim_s
+PASS
+ok  	ampom	1.315s
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSmokeConvert(t *testing.T) {
+	out := clitest.Run(t, "-i", writeSample(t))
+	var doc struct {
+		Version    int `json:"version"`
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Iterations int64              `json:"iterations"`
+			NsPerOp    float64            `json:"ns_per_op"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Version != 1 || len(doc.Benchmarks) != 2 {
+		t.Fatalf("decoded version %d with %d benchmarks, want 1 and 2", doc.Version, len(doc.Benchmarks))
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped.
+	b4096, b512 := doc.Benchmarks[0], doc.Benchmarks[1]
+	if b4096.Name != "BenchmarkFabric4096" || b512.Name != "BenchmarkFabric512" {
+		t.Fatalf("names %q, %q not sorted/stripped", b4096.Name, b512.Name)
+	}
+	if b512.NsPerOp != 1304924710 || b512.Iterations != 1 {
+		t.Fatalf("ns/op %v iterations %d decoded wrong", b512.NsPerOp, b512.Iterations)
+	}
+	if b512.Metrics["AMPoM_ev_per_sim_s"] != 3279 || b512.Metrics["qg_migrations"] != 95 {
+		t.Fatalf("custom metrics decoded wrong: %v", b512.Metrics)
+	}
+	if _, hasNs := b512.Metrics["ns/op"]; hasNs {
+		t.Fatal("ns/op leaked into the metrics map")
+	}
+}
+
+func TestSmokeOutputFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if stdout := clitest.Run(t, "-i", writeSample(t), "-o", out); stdout != "" {
+		t.Fatalf("-o still wrote to stdout:\n%s", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "BenchmarkFabric512") {
+		t.Fatalf("artefact missing benchmark:\n%s", data)
+	}
+}
+
+func TestSmokeEmptyInputFails(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr := clitest.RunExpect(t, cli.CodeFail, "-i", empty); !strings.Contains(stderr, "no benchmark") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
+func TestSmokeUnexpectedArgsAreUsageError(t *testing.T) {
+	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "stray"); !strings.Contains(stderr, "unexpected arguments") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
+func TestSmokeMalformedLineFails(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("BenchmarkX 1 12 ns/op trailing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr := clitest.RunExpect(t, cli.CodeFail, "-i", bad); !strings.Contains(stderr, "malformed") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}

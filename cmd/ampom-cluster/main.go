@@ -18,6 +18,8 @@
 //	ampom-cluster -spec farm.json -o report.json           # persist the report
 //	ampom-cluster -scenario web-churn -dump-spec web.json  # write the spec out
 //	ampom-cluster -diff a.json b.json      # compare saved reports (exit 1 on divergence)
+//	ampom-cluster -diff -diff-eps 0.01 a.json b.json       # floats gate at 1% relative
+//	ampom-cluster -diff -diff-eps mean_slowdown=0.02 -summary a.json b.json
 //
 // Scenarios run through the campaign engine: the scenario seed is derived
 // from -seed and the canonical spec fingerprint (policy set and fabric
@@ -28,8 +30,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"ampom"
@@ -44,6 +48,8 @@ func main() {
 	output := flag.String("o", "", "also write the report(s) to this file (.json or .csv)")
 	dumpSpec := flag.String("dump-spec", "", "write the resolved spec to this JSON file and exit")
 	diffMode := flag.Bool("diff", false, "compare two saved report files (JSON) and exit 1 on divergence")
+	diffEps := flag.String("diff-eps", "", "with -diff: relative epsilon for float columns, either one value (0.01) or per-column (mean_slowdown=0.01,frozen_s=0.05); counts always compare exactly")
+	diffSummary := flag.Bool("summary", false, "with -diff: one line per diverging column instead of one per field")
 	list := flag.Bool("list", false, "list the preset scenarios, fabric topologies and registered policies, then exit")
 	nodes := flag.Int("nodes", 0, "override the preset's node count")
 	procs := flag.Int("procs", 0, "override the preset's process count")
@@ -51,8 +57,14 @@ func main() {
 	flag.Parse()
 
 	if *diffMode {
-		diffReports(flag.Args())
+		diffReports(flag.Args(), ampom.ScenarioDiffOptions{
+			RelEps:  parseDiffEps(*diffEps),
+			Summary: *diffSummary,
+		})
 		return
+	}
+	if *diffEps != "" || *diffSummary {
+		cli.Usage("-diff-eps and -summary only apply to -diff")
 	}
 
 	// A bad -o extension is a pure argument mistake: reject it before any
@@ -166,16 +178,46 @@ func main() {
 	cli.Exit(exitCode)
 }
 
+// parseDiffEps parses the -diff-eps flag: either one bare epsilon applied
+// to every float column, or comma-separated column=eps entries (a bare
+// value among them sets the default for unlisted columns).
+func parseDiffEps(s string) map[string]float64 {
+	if s == "" {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		col, val := "", part
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			col, val = part[:i], part[i+1:]
+		}
+		eps, err := strconv.ParseFloat(val, 64)
+		if err != nil || eps < 0 || math.IsNaN(eps) {
+			cli.Usage("-diff-eps %s: %q is not a non-negative epsilon", s, val)
+		}
+		out[col] = eps
+	}
+	return out
+}
+
 // diffReports compares two saved report artefacts and exits 1 when the
-// recorded runs diverge — the regression-gate mode.
-func diffReports(args []string) {
+// recorded runs diverge under the options — the regression-gate mode.
+func diffReports(args []string, opts ampom.ScenarioDiffOptions) {
 	if len(args) != 2 {
 		cli.Usage("-diff needs exactly two report files, have %d", len(args))
 	}
-	diffs, err := ampom.DiffScenarioReportFiles(args[0], args[1])
+	diffs, err := ampom.DiffScenarioReportFilesOpts(args[0], args[1], opts)
 	cli.Check(err)
 	if len(diffs) == 0 {
-		fmt.Printf("reports identical: %s == %s\n", args[0], args[1])
+		if len(opts.RelEps) > 0 {
+			fmt.Printf("reports equal within tolerance: %s == %s\n", args[0], args[1])
+		} else {
+			fmt.Printf("reports identical: %s == %s\n", args[0], args[1])
+		}
 		return
 	}
 	for _, d := range diffs {

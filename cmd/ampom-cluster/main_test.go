@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -204,6 +206,90 @@ func TestDiffReports(t *testing.T) {
 	}
 	if _, stderr := clitest.RunExpect(t, cli.CodeFail, "-diff", a, filepath.Join(dir, "missing.json")); stderr == "" {
 		t.Fatal("missing file diffed silently")
+	}
+}
+
+// TestDiffTolerance locks the -diff-eps / -summary modes: a generous
+// relative epsilon lets the float columns of two different-seed runs gate
+// as equal only when counts also agree, a per-column epsilon loosens just
+// its column, count divergences are never masked, and -summary renders one
+// line per diverging column.
+func TestDiffTolerance(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	c := filepath.Join(dir, "c.json")
+	base := []string{"-scenario", "web-churn", "-nodes", "4", "-procs", "8", "-j", "1"}
+	clitest.Run(t, append(append([]string{}, base...), "-seed", "5", "-o", a)...)
+	clitest.Run(t, append(append([]string{}, base...), "-seed", "6", "-o", c)...)
+
+	// Different seeds diverge in counts (seed, migrations, ...), so even an
+	// enormous float epsilon must not gate them equal.
+	out, _ := clitest.RunExpect(t, cli.CodeFail, "-diff", "-diff-eps", "1e9", a, c)
+	if !strings.Contains(out, "seed") {
+		t.Fatalf("count divergences masked by the float epsilon:\n%s", out)
+	}
+
+	// A hand-edited float column within the epsilon gates equal; outside
+	// it, fails and names the epsilon.
+	data, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode with json.Number so untouched values (the uint64 seed above
+	// all) re-encode exactly.
+	var doc map[string]any
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	rows := doc["policies"].([]any)
+	row := rows[0].(map[string]any)
+	slow, err := row["mean_slowdown"].(json.Number).Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row["mean_slowdown"] = json.Number(strconv.FormatFloat(slow*1.004, 'g', -1, 64))
+	edited, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(b, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if out := clitest.Run(t, "-diff", "-diff-eps", "0.01", a, b); !strings.Contains(out, "within tolerance") {
+		t.Fatalf("0.4%% drift failed the 1%% gate:\n%s", out)
+	}
+	if out := clitest.Run(t, "-diff", "-diff-eps", "mean_slowdown=0.01", a, b); !strings.Contains(out, "within tolerance") {
+		t.Fatalf("0.4%% drift failed the per-column 1%% gate:\n%s", out)
+	}
+	out, _ = clitest.RunExpect(t, cli.CodeFail, "-diff", "-diff-eps", "0.001", a, b)
+	if !strings.Contains(out, "eps") || !strings.Contains(out, "mean_slowdown") {
+		t.Fatalf("over-epsilon drift not reported with the epsilon named:\n%s", out)
+	}
+	// An epsilon scoped to another column leaves this one exact.
+	if out, _ := clitest.RunExpect(t, cli.CodeFail, "-diff", "-diff-eps", "frozen_s=1", a, b); !strings.Contains(out, "mean_slowdown") {
+		t.Fatalf("foreign-column epsilon loosened mean_slowdown:\n%s", out)
+	}
+
+	// Summary mode: one line per diverging column, with the deviation.
+	out, _ = clitest.RunExpect(t, cli.CodeFail, "-diff", "-summary", a, b)
+	if !strings.Contains(out, "column mean_slowdown: 1 divergence(s)") || !strings.Contains(out, "max rel dev") {
+		t.Fatalf("summary mode output unexpected:\n%s", out)
+	}
+
+	// Flag hygiene: tolerance flags outside -diff, and malformed epsilons,
+	// are usage errors.
+	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "-diff-eps", "0.1"); !strings.Contains(stderr, "only apply to -diff") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "-summary"); !strings.Contains(stderr, "only apply to -diff") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "-diff", "-diff-eps", "bogus", a, b); !strings.Contains(stderr, "not a non-negative epsilon") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
 	}
 }
 

@@ -7,7 +7,10 @@
 // The comparison works at the on-disk (reportJSON) level: both sides pass
 // through the identical decode transform, so two files are reported equal
 // exactly when their recorded values are equal, independent of the
-// float↔duration conversions the in-memory Report form performs.
+// float↔duration conversions the in-memory Report form performs. The gate
+// is exact by default; DiffOptions loosens individual float columns by a
+// relative epsilon (so noisy timing columns can gate softly while counts
+// stay exact) and offers a per-column summary of the divergences.
 package scenario
 
 import (
@@ -15,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"reflect"
 	"strings"
@@ -137,33 +141,141 @@ func jsonFieldName(f reflect.StructField) string {
 	return tag
 }
 
-// diffStructs appends one line per differing field of two like-typed
-// structs, labelling fields by their wire names.
-func diffStructs(prefix string, a, b any, out *[]string) {
+// DiffOptions tunes report comparison. The zero value is the historical
+// exact gate: every recorded field must match bit for bit.
+type DiffOptions struct {
+	// RelEps maps a policy-row float column (by wire name, e.g.
+	// "mean_slowdown" or "frozen_s") to the relative epsilon within which
+	// the column still gates as equal: |a−b| ≤ eps × max(|a|,|b|). The ""
+	// key is the default for every float column without an entry of its
+	// own. Only float64 columns of the per-policy rows are eligible —
+	// counts, spec fields, the seed and the tier rows always compare
+	// exactly, so a tolerance for noisy timing columns can never mask a
+	// changed migration count.
+	RelEps map[string]float64
+	// Summary collapses the line-per-field output into one line per
+	// diverging column — divergence count plus the worst relative
+	// deviation for float columns — the overview mode for artefacts whose
+	// float noise is expected but whose shape must hold.
+	Summary bool
+}
+
+// epsFor resolves the relative epsilon of one float column.
+func (o DiffOptions) epsFor(column string) float64 {
+	if e, ok := o.RelEps[column]; ok {
+		return e
+	}
+	return o.RelEps[""]
+}
+
+// relDev is the symmetric relative deviation of two floats: |a−b| scaled
+// by the larger magnitude (0 when both are 0).
+func relDev(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	m := math.Abs(a)
+	if n := math.Abs(b); n > m {
+		m = n
+	}
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / m
+}
+
+// diffCollector accumulates divergences in either output mode: verbose
+// (one line per field, the historical format) or summary (one line per
+// column).
+type diffCollector struct {
+	opts  DiffOptions
+	lines []string
+	count map[string]int
+	worst map[string]float64
+	order []string
+}
+
+func newDiffCollector(opts DiffOptions) *diffCollector {
+	return &diffCollector{
+		opts:  opts,
+		count: map[string]int{},
+		worst: map[string]float64{},
+	}
+}
+
+// add records one divergence: line is the verbose form, column the summary
+// bucket, rel the relative deviation (negative for non-float divergences,
+// which summarise without a deviation figure).
+func (d *diffCollector) add(column, line string, rel float64) {
+	d.lines = append(d.lines, line)
+	if _, seen := d.count[column]; !seen {
+		d.order = append(d.order, column)
+	}
+	d.count[column]++
+	if rel > d.worst[column] {
+		d.worst[column] = rel
+	}
+}
+
+// output renders the collected divergences in the selected mode.
+func (d *diffCollector) output() []string {
+	if !d.opts.Summary {
+		return d.lines
+	}
+	out := make([]string, 0, len(d.order))
+	for _, col := range d.order {
+		line := fmt.Sprintf("column %s: %d divergence(s)", col, d.count[col])
+		if w := d.worst[col]; w > 0 {
+			line += fmt.Sprintf(", max rel dev %.3g", w)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// diffStructs records one divergence per differing field of two like-typed
+// structs, labelling fields by their wire names. When floatCols is set
+// (the per-policy rows), float64 fields gate through the options' relative
+// epsilons; everything else compares exactly.
+func diffStructs(prefix string, a, b any, c *diffCollector, floatCols bool) {
 	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
 	t := va.Type()
 	for i := 0; i < t.NumField(); i++ {
+		col := jsonFieldName(t.Field(i))
+		if floatCols && t.Field(i).Type.Kind() == reflect.Float64 {
+			fa, fb := va.Field(i).Float(), vb.Field(i).Float()
+			if fa == fb {
+				continue
+			}
+			rel := relDev(fa, fb)
+			if eps := c.opts.epsFor(col); eps > 0 {
+				if rel <= eps {
+					continue
+				}
+				c.add(col, fmt.Sprintf("%s%s: %v != %v (rel dev %.3g > eps %g)", prefix, col, fa, fb, rel, eps), rel)
+				continue
+			}
+			c.add(col, fmt.Sprintf("%s%s: %v != %v", prefix, col, fa, fb), rel)
+			continue
+		}
 		fa, fb := va.Field(i).Interface(), vb.Field(i).Interface()
 		if !reflect.DeepEqual(fa, fb) {
-			*out = append(*out, fmt.Sprintf("%s%s: %v != %v", prefix, jsonFieldName(t.Field(i)), fa, fb))
+			c.add(col, fmt.Sprintf("%s%s: %v != %v", prefix, col, fa, fb), 0)
 		}
 	}
 }
 
 // diffDocs compares two decoded report documents row by row.
-func diffDocs(idx int, a, b reportJSON) []string {
-	var out []string
+func diffDocs(idx int, a, b reportJSON, c *diffCollector) {
 	label := fmt.Sprintf("report[%d]", idx)
 	if !reflect.DeepEqual(a.Spec, b.Spec) {
-		var specDiffs []string
-		diffStructs(label+": spec.", a.Spec, b.Spec, &specDiffs)
-		out = append(out, specDiffs...)
+		diffStructs(label+": spec.", a.Spec, b.Spec, c, false)
 	}
 	if a.Seed != b.Seed {
-		out = append(out, fmt.Sprintf("%s: seed %d != %d", label, a.Seed, b.Seed))
+		c.add("seed", fmt.Sprintf("%s: seed %d != %d", label, a.Seed, b.Seed), 0)
 	}
 	if a.Procs != b.Procs {
-		out = append(out, fmt.Sprintf("%s: procs %d != %d", label, a.Procs, b.Procs))
+		c.add("procs", fmt.Sprintf("%s: procs %d != %d", label, a.Procs, b.Procs), 0)
 	}
 	rows := make(map[string]schemeJSON, len(b.Policies))
 	for _, r := range b.Policies {
@@ -174,23 +286,30 @@ func diffDocs(idx int, a, b reportJSON) []string {
 		seen[ra.Policy] = true
 		rb, ok := rows[ra.Policy]
 		if !ok {
-			out = append(out, fmt.Sprintf("%s: policy %s only in the first report", label, ra.Policy))
+			c.add("policies", fmt.Sprintf("%s: policy %s only in the first report", label, ra.Policy), 0)
 			continue
 		}
-		diffStructs(fmt.Sprintf("%s: %s: ", label, ra.Policy), ra, rb, &out)
+		diffStructs(fmt.Sprintf("%s: %s: ", label, ra.Policy), ra, rb, c, true)
 	}
 	for _, rb := range b.Policies {
 		if !seen[rb.Policy] {
-			out = append(out, fmt.Sprintf("%s: policy %s only in the second report", label, rb.Policy))
+			c.add("policies", fmt.Sprintf("%s: policy %s only in the second report", label, rb.Policy), 0)
 		}
 	}
-	return out
 }
 
 // DiffReportsData compares two report artefacts (each a JSON object or
-// array) and returns one human-readable line per divergence — empty means
-// the recorded runs are identical.
+// array) exactly and returns one human-readable line per divergence —
+// empty means the recorded runs are identical.
 func DiffReportsData(a, b []byte) ([]string, error) {
+	return DiffReportsDataOpts(a, b, DiffOptions{})
+}
+
+// DiffReportsDataOpts is DiffReportsData under explicit comparison
+// options: per-column relative epsilons for the float columns and the
+// per-column summary mode. An empty result means the artefacts gate as
+// equal under the options.
+func DiffReportsDataOpts(a, b []byte, opts DiffOptions) ([]string, error) {
 	da, err := decodeReportDocs(a)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: first report: %w", err)
@@ -199,22 +318,28 @@ func DiffReportsData(a, b []byte) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: second report: %w", err)
 	}
-	var out []string
+	c := newDiffCollector(opts)
 	if len(da) != len(db) {
-		out = append(out, fmt.Sprintf("report count %d != %d", len(da), len(db)))
+		c.add("reports", fmt.Sprintf("report count %d != %d", len(da), len(db)), 0)
 	}
 	n := len(da)
 	if len(db) < n {
 		n = len(db)
 	}
 	for i := 0; i < n; i++ {
-		out = append(out, diffDocs(i, da[i], db[i])...)
+		diffDocs(i, da[i], db[i], c)
 	}
-	return out, nil
+	return c.output(), nil
 }
 
-// DiffReportFiles compares two saved report artefacts by path.
+// DiffReportFiles compares two saved report artefacts by path, exactly.
 func DiffReportFiles(pathA, pathB string) ([]string, error) {
+	return DiffReportFilesOpts(pathA, pathB, DiffOptions{})
+}
+
+// DiffReportFilesOpts compares two saved report artefacts by path under
+// explicit comparison options.
+func DiffReportFilesOpts(pathA, pathB string, opts DiffOptions) ([]string, error) {
 	a, err := os.ReadFile(pathA)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
@@ -223,5 +348,5 @@ func DiffReportFiles(pathA, pathB string) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	return DiffReportsData(a, b)
+	return DiffReportsDataOpts(a, b, opts)
 }

@@ -134,12 +134,37 @@ type clusterSim struct {
 	doneN   int
 	horizon simtime.Time
 
-	// viewScratch and gvScratch are the reusable row buffers of the
-	// ground-truth and per-source gossip views — balance rounds rebuild
-	// both up to Nodes times per tick, and policies do not retain a view
-	// past ShouldMigrate.
+	// lv is the incrementally maintained ground-truth view: per-node
+	// aggregates, candidate lists and the descending-load source order,
+	// updated O(1) at every arrival/completion/freeze/migration/balloon
+	// event instead of rebuilt O(nodes+procs) per balance decision.
+	lv *liveView
+
+	// viewScratch and gvScratch are the reusable row buffers handed to
+	// policies: the ground-truth copy, fully re-copied from the canonical
+	// rows at every balance round, and the per-source gossip view, fully
+	// rewritten at every hand-off. Policies do not retain a view past
+	// ShouldMigrate (the sched.BalancerPolicy contract); because nothing
+	// handed out survives a round boundary unrewritten, a policy that
+	// breaks the contract and scribbles on a retained slice still cannot
+	// corrupt the next round — the canonical rows live in lv and are never
+	// handed out.
 	viewScratch []sched.NodeView
 	gvScratch   []sched.NodeView
+
+	// llBase and llGossip are the LeastLoaded memo cells of the two
+	// hand-off views, reset at each hand-off.
+	llBase, llGossip int
+
+	// countScratch and candScratch are per-tick and per-decision reuse
+	// buffers.
+	countScratch []int
+	candScratch  []*proc
+
+	// checkView, when set (tests only), observes every balance round's
+	// ground-truth view right after the incremental refresh — the hook the
+	// live-view-vs-rebuild property test and the retention tests use.
+	checkView func(base sched.View)
 
 	st SchemeStats
 }
@@ -173,6 +198,7 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 			return true
 		})
 	}
+	c.lv = newLiveView(c.nodes, spec.NodeMemMB)
 
 	// The interconnect: topology, per-link queues and the monitoring
 	// plane (paired daemons on the star, gossip on switched fabrics). Its
@@ -205,14 +231,20 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 			node:        t.node,
 		}
 		c.procs[i] = p
-		c.eng.At(t.arriveAt, func() { p.arrived = true })
+		c.eng.At(t.arriveAt, func() {
+			p.arrived = true
+			c.lv.arrive(p)
+		})
 	}
 
 	for _, ev := range spec.Churn {
 		ev := ev
 		switch ev.Kind {
 		case ChurnSlowNode:
-			c.eng.Schedule(ev.At, func() { c.nodes[ev.Node].CPUScale *= ev.Factor })
+			c.eng.Schedule(ev.At, func() {
+				c.nodes[ev.Node].CPUScale *= ev.Factor
+				c.lv.touch(ev.Node)
+			})
 		case ChurnNetLoad:
 			c.eng.Schedule(ev.At, func() { c.ic.SetBackgroundLoad(ev.Node, ev.Factor) })
 		case ChurnBalloon:
@@ -241,15 +273,14 @@ func fnvHash(s string) uint64 {
 
 // probeFor is node i's local load probe, sampled by its gossip daemon at
 // every push round. The counts mirror the balancer view: frozen migrants
-// belong to their destination node.
+// belong to their destination node. The probe reads the live aggregates —
+// O(1) where it used to scan every process per push round per node, the
+// other half of the O(procs) bookkeeping the incremental view removes.
 func (c *clusterSim) probeFor(i int) func() infod.LoadSample {
 	return func() infod.LoadSample {
-		var s infod.LoadSample
-		for _, p := range c.procs {
-			if p.arrived && !p.done && p.node == i {
-				s.Queue++
-				s.UsedMemMB += p.footprintMB
-			}
+		s := infod.LoadSample{
+			Queue:     c.lv.live[i],
+			UsedMemMB: c.lv.mem[i],
 		}
 		s.Load = float64(s.Queue) / c.nodes[i].CPUScale
 		return s
@@ -272,10 +303,12 @@ func (c *clusterSim) balloon(ev ChurnEvent) {
 	if target == nil {
 		return
 	}
+	was := target.footprintMB
 	target.footprintMB = int64(float64(target.footprintMB) * ev.Factor)
 	if target.footprintMB < 1 {
 		target.footprintMB = 1
 	}
+	c.lv.memDelta(target.node, target.footprintMB-was)
 }
 
 // run executes the simulation to completion (or the horizon) and finalises
@@ -311,14 +344,17 @@ func (c *clusterSim) run() SchemeStats {
 	return c.st
 }
 
-// tick advances one processor-sharing quantum on every node.
+// tick advances one processor-sharing quantum on every node. The per-node
+// runnable populations are the live view's aggregates, snapshotted so
+// completions during the quantum do not perturb the shares of the
+// processes advanced after them (exactly the pre-scan the full rebuild
+// performed).
 func (c *clusterSim) tick() {
-	counts := make([]int, c.spec.Nodes)
-	for _, p := range c.procs {
-		if p.arrived && !p.done && !p.frozen {
-			counts[p.node]++
-		}
+	if c.countScratch == nil {
+		c.countScratch = make([]int, c.spec.Nodes)
 	}
+	counts := c.countScratch
+	copy(counts, c.lv.runnable)
 	now := c.eng.Now()
 	for _, p := range c.procs {
 		if !p.arrived || p.done || p.frozen {
@@ -331,6 +367,7 @@ func (c *clusterSim) tick() {
 			p.pcb.State = cluster.ProcDone
 			p.finishAt = now.Add(c.spec.Quantum)
 			c.doneN++
+			c.lv.depart(p)
 		}
 	}
 	if c.doneN == len(c.procs) {
@@ -340,18 +377,21 @@ func (c *clusterSim) tick() {
 }
 
 // view assembles the ground-truth picture of the cluster: per-node
-// runnable counts (frozen migrants count towards their destination, as in
+// resident counts (frozen migrants count towards their destination, as in
 // the sched study), CPU-scaled loads, resident memory, and the monitoring
-// plane's conservative bandwidth estimate. On the legacy star this is
-// exactly what policies decide with; on switched fabrics it only orders
-// the driver's source scan, and decisions see gossipView instead.
+// plane's conservative bandwidth estimate. The rows come from the live
+// view — only nodes dirtied since the last round are re-derived — and are
+// copied into the hand-off scratch, so the canonical rows stay private and
+// a policy that wrongly retains or mutates a handed view cannot corrupt
+// the next round. On the legacy star this is exactly what policies decide
+// with; on switched fabrics it only orders the driver's source scan, and
+// decisions see gossipView instead.
 func (c *clusterSim) view() sched.View {
+	c.lv.refresh()
 	if c.viewScratch == nil {
 		c.viewScratch = make([]sched.NodeView, c.spec.Nodes)
 	}
-	for i := range c.viewScratch {
-		c.viewScratch[i] = sched.NodeView{}
-	}
+	copy(c.viewScratch, c.lv.rows)
 	v := sched.View{
 		Nodes:         c.viewScratch,
 		BandwidthBps:  c.ic.ClusterBandwidth(),
@@ -359,20 +399,7 @@ func (c *clusterSim) view() sched.View {
 		Rand:          c.prand,
 		SampleLen:     c.spec.LoadVectorLen,
 	}
-	for i := range v.Nodes {
-		v.Nodes[i].CPUScale = c.nodes[i].CPUScale
-		v.Nodes[i].CapacityMB = c.spec.NodeMemMB
-	}
-	for _, p := range c.procs {
-		if p.arrived && !p.done {
-			v.Nodes[p.node].Procs++
-			v.Nodes[p.node].UsedMemMB += p.footprintMB
-		}
-	}
-	for i := range v.Nodes {
-		v.Nodes[i].Load = float64(v.Nodes[i].Procs) / v.Nodes[i].CPUScale
-		v.Nodes[i].QueueLen = v.Nodes[i].Procs
-	}
+	v.CacheLeastLoaded(&c.llBase)
 	return v
 }
 
@@ -392,6 +419,7 @@ func (c *clusterSim) gossipView(src int, base sched.View) sched.View {
 	}
 	v := base
 	v.Nodes = c.gvScratch
+	v.CacheLeastLoaded(&c.llGossip)
 	now := c.eng.Now()
 	for i := range v.Nodes {
 		if i == src {
@@ -433,12 +461,22 @@ func (c *clusterSim) balance() {
 // balanceOnce offers the policy candidates — most loaded nodes first,
 // longest remaining demand first — and executes the first migration it
 // accepts, reporting whether one happened. On switched fabrics each
-// source's candidates are judged against that source's gossip view.
+// source's candidates are judged against that source's gossip view. The
+// source order is the live view's maintained descending-load sequence, and
+// sources with no runnable candidates skip the per-source view build
+// entirely (the policy was never consulted for them before either).
 func (c *clusterSim) balanceOnce() bool {
 	base := c.view()
-	for _, src := range base.NodesByLoad() {
+	if c.checkView != nil {
+		c.checkView(base)
+	}
+	for _, src := range c.lv.order {
+		cands := c.candidatesOn(src)
+		if len(cands) == 0 {
+			continue
+		}
 		v := c.gossipView(src, base)
-		for _, p := range c.candidatesOn(src) {
+		for _, p := range cands {
 			pv := sched.ProcView{
 				ID:             p.t.id,
 				Node:           src,
@@ -459,11 +497,15 @@ func (c *clusterSim) balanceOnce() bool {
 
 // candidatesOn returns up to sched.MaxCandidates runnable processes on
 // node, longest remaining demand first (lifetime best justifies the cost,
-// following Harchol-Balter & Downey), ties broken by ascending id.
+// following Harchol-Balter & Downey), ties broken by ascending id. The
+// pool is the live view's per-node list — already filtered to runnable
+// residents, already in the ascending-id order the global filter used to
+// preserve.
 func (c *clusterSim) candidatesOn(node int) []*proc {
-	return sched.TopCandidates(c.procs,
-		func(p *proc) bool { return p.arrived && !p.done && !p.frozen && p.node == node },
+	c.candScratch = sched.TopCandidatesInto(c.candScratch, c.lv.runnableOn[node],
+		func(p *proc) bool { return true },
 		func(p *proc) simtime.Duration { return p.remaining })
+	return c.candScratch
 }
 
 // migrate freezes cand and ships its freeze-time payload across the
@@ -477,6 +519,7 @@ func (c *clusterSim) migrate(p *proc, src, dst int) {
 	p.migrations++
 	p.pcb.State = cluster.ProcFrozen
 	p.pcb.Current = c.nodes[dst]
+	c.lv.freeze(p, src, dst)
 	c.st.Migrations++
 
 	bytes := c.freezeBytes(p)
@@ -513,15 +556,9 @@ func (c *clusterSim) deliver(node int, m migMsg) {
 func (c *clusterSim) restore(p *proc, dst int) {
 	cal := 65 * simtime.Millisecond // openMosix protocol base cost
 	pages := footprintPages(p.footprintMB)
-	src := 0
-	if p.pcb.Home != nil {
-		for i, n := range c.nodes {
-			if n == p.pcb.Home {
-				src = i
-				break
-			}
-		}
-	}
+	// The PCB's home node is the template's origin by construction and is
+	// never reassigned, so the index is known without scanning the cluster.
+	src := p.t.node
 	bw := c.ic.PathBandwidth(src, dst)
 	var extra simtime.Duration
 	if c.remotePages(p, bw) {
@@ -559,6 +596,7 @@ func (c *clusterSim) remotePages(p *proc, bw float64) bool {
 func (c *clusterSim) unfreeze(p *proc) {
 	p.frozen = false
 	p.pcb.State = cluster.ProcRunning
+	c.lv.unfreeze(p)
 	c.st.FrozenTotal += c.eng.Now().Sub(p.freezeStart)
 }
 

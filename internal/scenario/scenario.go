@@ -627,7 +627,7 @@ func (s Spec) String() string {
 
 // PresetNames lists the built-in scenarios in presentation order.
 func PresetNames() []string {
-	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks", "rack-farm", "gossip-mesh"}
+	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks", "rack-farm", "gossip-mesh", "mega-farm"}
 }
 
 // Preset returns a named built-in scenario. The names model the cluster
@@ -775,6 +775,39 @@ func Preset(name string) (Spec, error) {
 			Mix: []MixWeight{
 				{Kind: MixSequential, Weight: 2},
 				{Kind: MixRandom, Weight: 1},
+			},
+		}.Canonical(), nil
+	case "mega-farm":
+		// The incremental-view acceptance scenario: 4096 nodes in 64 racks
+		// of 64, 16384 ranks dealt round-robin — an order of magnitude past
+		// rack-farm, the multi-thousand-node farm scale the openMosix
+		// HPC-farm literature aims at. A fifth of the machines are a
+		// generation older, the core is heavily oversubscribed, and the
+		// gossip period is stretched to 4 s: full-membership load vectors
+		// cost O(n) per push, so a 4096-node farm gossips at half the
+		// small-farm cadence — and balancer policies pay for it in
+		// staleness. Only the live, dirty-node-tracked cluster view keeps
+		// balance rounds at this scale within the event budget.
+		return Spec{
+			Name:            "mega-farm",
+			Nodes:           4096,
+			Procs:           16384,
+			SlowFrac:        0.2,
+			SlowScale:       0.5,
+			Arrival:         ArrivalBatch,
+			Placement:       PlaceRoundRobin,
+			MeanCompute:     4 * simtime.Second,
+			MeanFootprintMB: 48,
+			CostThreshold:   1.1,
+			Fabric: FabricSpec{
+				Topology:     fabric.KindTwoTier,
+				RackSize:     64,
+				Oversub:      8,
+				GossipPeriod: 4 * simtime.Second,
+			},
+			Mix: []MixWeight{
+				{Kind: MixSequential, Weight: 3},
+				{Kind: MixBlocked, Weight: 1},
 			},
 		}.Canonical(), nil
 	default:

@@ -67,6 +67,14 @@ type ProcView struct {
 // the driving simulator before every decision, so policies stay stateless.
 type View struct {
 	// Nodes holds every node's current state, indexed by node id.
+	//
+	// The slice is on loan for the duration of one ShouldMigrate call: the
+	// drivers reuse its backing storage between hand-offs (and, with the
+	// incremental scenario view, refresh only the rows that changed), so a
+	// policy must neither retain Nodes past the call nor mutate its rows.
+	// Drivers defend the *next* round by rewriting or re-copying every row
+	// they hand out, but a policy that breaks the contract still corrupts
+	// its own remaining decisions of the current round.
 	Nodes []NodeView
 	// BandwidthBps is the monitoring daemons' conservative estimate of the
 	// interconnect bandwidth available to a migration.
@@ -82,6 +90,22 @@ type View struct {
 	// policy's built-in default. Scenario runs populate it from
 	// Spec.LoadVectorLen.
 	SampleLen int
+
+	// least memoises LeastLoaded for drivers that hand the same immutable
+	// rows to several candidate decisions in a row (CacheLeastLoaded). Nil
+	// — the zero value every hand-built view has — recomputes per call.
+	least *int
+}
+
+// CacheLeastLoaded installs (and resets) a memo cell for LeastLoaded.
+// Drivers that guarantee the view's rows stay unchanged for the lifetime of
+// one hand-off call it at every hand-off, so policies that consult
+// LeastLoaded once per candidate pay the O(nodes) scan once per view
+// instead. The cell is driver-owned storage; resetting it at each hand-off
+// is what keeps the memo coherent when the backing rows are refreshed.
+func (v *View) CacheLeastLoaded(cell *int) {
+	*cell = -1
+	v.least = cell
 }
 
 // BalancerPolicy decides when and where the load balancer migrates. The
@@ -99,7 +123,9 @@ type BalancerPolicy interface {
 	MigrationCost(footprintMB int64, wsFrac, bandwidthBps float64) (freeze, extra simtime.Duration)
 	// ShouldMigrate decides whether proc should move, returning the
 	// destination node. The driver offers candidates from the most loaded
-	// nodes first, longest remaining demand first.
+	// nodes first, longest remaining demand first. The view's Nodes slice
+	// is on loan for this call only — policies must not retain or mutate
+	// it (see View.Nodes).
 	ShouldMigrate(view View, proc ProcView) (dest int, ok bool)
 }
 
@@ -177,7 +203,14 @@ const MaxCandidates = 4
 // candidate-selection rule of the sched study and the scenario engine
 // (callers iterate their processes in ascending id order).
 func TopCandidates[T any](items []T, eligible func(T) bool, remaining func(T) simtime.Duration) []T {
-	var top []T
+	return TopCandidatesInto(nil, items, eligible, remaining)
+}
+
+// TopCandidatesInto is TopCandidates appending into buf[:0], so hot-path
+// callers (one selection per node per balance round) can reuse one scratch
+// slice instead of allocating per call.
+func TopCandidatesInto[T any](buf []T, items []T, eligible func(T) bool, remaining func(T) simtime.Duration) []T {
+	top := buf[:0]
 	for _, it := range items {
 		if !eligible(it) {
 			continue
@@ -203,11 +236,17 @@ func TopCandidates[T any](items []T, eligible func(T) bool, remaining func(T) si
 // LeastLoaded returns the index of the least loaded node (lowest index on
 // ties).
 func (v View) LeastLoaded() int {
+	if v.least != nil && *v.least >= 0 {
+		return *v.least
+	}
 	best := 0
 	for i, n := range v.Nodes {
 		if n.Load < v.Nodes[best].Load {
 			best = i
 		}
+	}
+	if v.least != nil {
+		*v.least = best
 	}
 	return best
 }
