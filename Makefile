@@ -3,8 +3,8 @@
 # engine, the binary smoke tests, a short fuzz pass over the AMPoM
 # prefetcher, the trace combinators and the scenario spec codec, one
 # bench-balance iteration so policy-dispatch overhead is tracked, and one
-# bench-fabric iteration asserting the 512-node and 4096-node presets'
-# event budgets.
+# bench-fabric iteration asserting the 512-, 4096- and 16384-node
+# presets' event budgets.
 
 GO ?= go
 
@@ -59,19 +59,20 @@ bench-scenario:
 bench-balance:
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicySweep$$' -benchtime 1x .
 
-# BenchmarkFabric512 and BenchmarkFabric4096 run the rack-farm (512n/2048p)
-# and mega-farm (4096n/16384p) presets on their two-tier switched fabrics
-# with gossip dissemination, and FAIL if any policy's
-# events-per-simulated-second exceeds the fixed budgets — the scale-out
-# regression gates the incremental cluster view is held to.
+# BenchmarkFabric{512,4096,16384} run the rack-farm (512n/2048p),
+# mega-farm (4096n/16384p) and giga-farm (16384n/65536p) presets on their
+# two-tier switched fabrics with gossip dissemination, and FAIL if any
+# policy's events-per-simulated-second exceeds the fixed budgets — the
+# scale-out regression gates the incremental cluster view and the bounded
+# partial-view gossip plane are held to.
 bench-fabric:
-	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096)$$' -benchtime 1x -timeout 30m .
+	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096|16384)$$' -benchtime 1x -timeout 30m .
 
 # bench-json runs the fabric gates and records them machine-readably in
 # BENCH_fabric.json (benchmark name -> ns/op, events/sim-s and the other
 # reported metrics), so the perf trajectory is diffable across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096)$$' -benchtime 1x -timeout 30m . \
+	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096|16384)$$' -benchtime 1x -timeout 30m . \
 		| $(GO) run ./cmd/ampom-benchjson -o BENCH_fabric.json
 	@cat BENCH_fabric.json
 

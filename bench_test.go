@@ -439,6 +439,43 @@ func BenchmarkFabric4096(b *testing.B) {
 	}
 }
 
+// fabric16384EventBudget caps the giga-farm preset (16384 nodes / 65536
+// procs, 128-node racks, 4 s gossip period) — the scale the bounded
+// partial-view gossip plane exists for. With full-membership pushes the
+// plane alone would cost O(n²) entry transfers per period (268M entries a
+// round at 16k nodes); windowed pushes pin the wire and merge cost to
+// O(n·l), so quadrupling the cluster over mega-farm should roughly
+// quadruple the event rate and no more. Measured ~60–64k events/sim-s per
+// policy; the budget keeps ~2× headroom.
+const fabric16384EventBudget = 125_000
+
+// BenchmarkFabric16384 runs the 16384-node / 65536-process giga-farm
+// preset end to end (`make bench-fabric`). Same trimmed policy trio as the
+// smaller gates; the events-per-sim-second budget applies to every row.
+func BenchmarkFabric16384(b *testing.B) {
+	spec, err := ScenarioPreset("giga-farm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if spec.Nodes != 16384 || spec.Procs != 65536 {
+		b.Fatalf("giga-farm is %dn/%dp, want 16384/65536", spec.Nodes, spec.Procs)
+	}
+	spec.Policies = []string{PolicyNoMigration, PolicyAMPoM, PolicyQueueGossip}
+	spec = spec.Canonical()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenario(spec, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		assertEventBudget(b, rep, fabric16384EventBudget, i == b.N-1)
+		if i == b.N-1 {
+			qg, _ := rep.Scheme(PolicyQueueGossip)
+			b.ReportMetric(float64(qg.Migrations), "qg_migrations")
+		}
+	}
+}
+
 // BenchmarkScenarioPresets fans every preset up to 512 nodes across the
 // campaign worker pool — the ampom-cluster -scenario all path. The
 // 4096-node mega-farm preset is gated separately (BenchmarkFabric4096,

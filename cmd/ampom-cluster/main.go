@@ -13,6 +13,7 @@
 //	ampom-cluster -scenario hpc-farm -nodes 8 -procs 32   # shrink a preset
 //	ampom-cluster -scenario rack-farm                     # 512 nodes, two-tier fabric
 //	ampom-cluster -scenario hpc-farm -fabric two-tier     # override the topology
+//	ampom-cluster -scenario rack-farm -gossip-window 8    # shrink the gossip window
 //	ampom-cluster -spec farm.json          # run a user-defined spec file
 //	ampom-cluster -policies AMPoM,mem-usher                # restrict the policy set
 //	ampom-cluster -spec farm.json -o report.json           # persist the report
@@ -45,6 +46,7 @@ func main() {
 	specFile := flag.String("spec", "", "run the scenario from this JSON spec file (overrides -scenario)")
 	policies := flag.String("policies", "", "comma-separated balancer policies (default: the spec's set, or every registered policy)")
 	fabricFlag := flag.String("fabric", "", "override the interconnect topology: "+strings.Join(ampom.FabricTopologyNames(), ", "))
+	gossipWindow := flag.Int("gossip-window", 0, "override the gossip window (entries per push) on switched fabrics")
 	output := flag.String("o", "", "also write the report(s) to this file (.json or .csv)")
 	dumpSpec := flag.String("dump-spec", "", "write the resolved spec to this JSON file and exit")
 	diffMode := flag.Bool("diff", false, "compare two saved report files (JSON) and exit 1 on divergence")
@@ -129,6 +131,12 @@ func main() {
 			// Only the topology is overridden; shape and gossip parameters
 			// keep the spec's values (or their canonical defaults).
 			specs[i].Fabric.Topology = k
+		}
+		if *gossipWindow != 0 {
+			if *gossipWindow < 0 {
+				cli.Usage("-gossip-window %d: want a positive entry count", *gossipWindow)
+			}
+			specs[i].Fabric.GossipWindow = *gossipWindow
 		}
 		specs[i] = specs[i].Canonical()
 		if err := specs[i].Validate(); err != nil {

@@ -171,6 +171,29 @@ func TestSmokeFabricOverride(t *testing.T) {
 	}
 }
 
+// TestSmokeGossipWindowOverride drives the -gossip-window knob: a tiny
+// window still renders a valid deterministic report (and a different run
+// than the default, since the knob is behaviour-bearing), and a negative
+// value is a usage error.
+func TestSmokeGossipWindowOverride(t *testing.T) {
+	args := []string{"-scenario", "rack-farm", "-nodes", "16", "-procs", "64",
+		"-seed", "3", "-gossip-window", "2"}
+	out := clitest.Run(t, args...)
+	if !strings.Contains(out, "scenario rack-farm") || !strings.Contains(out, "queue-gossip") {
+		t.Fatalf("windowed report malformed:\n%s", out)
+	}
+	def := clitest.Run(t, "-scenario", "rack-farm", "-nodes", "16", "-procs", "64", "-seed", "3")
+	if def == out {
+		t.Fatal("-gossip-window 2 rendered the default-window report — the knob is inert")
+	}
+	if out2 := clitest.Run(t, args...); out2 != out {
+		t.Fatal("-gossip-window runs are not deterministic")
+	}
+	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "-scenario", "web-churn", "-gossip-window", "-3"); !strings.Contains(stderr, "gossip-window") {
+		t.Fatalf("negative window stderr:\n%s", stderr)
+	}
+}
+
 func TestSmokeUnknownFabricIsUsageError(t *testing.T) {
 	_, stderr := clitest.RunExpect(t, cli.CodeUsage, "-scenario", "web-churn", "-fabric", "hypercube")
 	if !strings.Contains(stderr, "unknown topology") {

@@ -18,8 +18,10 @@
 //     two hops apart with no shared bottleneck beyond the endpoints.
 //
 // Switched topologies replace the paired hub-spoke infod exchange with
-// decentralised gossip (infod.Gossip): each node pushes its load vector to
-// a few random peers per period, entries age as they propagate, and the
+// decentralised gossip (infod.Gossip): each node pushes a bounded window —
+// the l freshest entries of its load vector — to a few distinct random
+// peers per period, runs slower anti-entropy pull rounds to heal
+// partitions and late joiners, entries age as they propagate, and the
 // t0/td estimates AMPoM's Equation 3 consumes are derived per origin from
 // gossip-path timing — so balancer policies see staleness that grows with
 // topology distance.
@@ -115,6 +117,10 @@ type Config struct {
 	// GossipPeriod is the gossip push period (default 2 s — the paired
 	// daemons' historical update period).
 	GossipPeriod simtime.Duration
+	// GossipWindow is l, the bounded number of entries (own sample
+	// included) one gossip push or pull response carries (switched
+	// topologies; default 32).
+	GossipWindow int
 	// Network is the per-node link profile; two-tier uplinks scale its
 	// bandwidth by RackSize/Oversub.
 	Network netmodel.Profile
@@ -138,6 +144,9 @@ const (
 	// DefaultGossipPeriod is the gossip push period default — the paired
 	// daemons' historical update period.
 	DefaultGossipPeriod = 2 * simtime.Second
+	// DefaultGossipWindow is the bounded partial-view size default — the
+	// l freshest entries one push carries (infod.DefaultWindowLen).
+	DefaultGossipWindow = infod.DefaultWindowLen
 )
 
 // withDefaults resolves the zero gossip/topology fields.
@@ -153,6 +162,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GossipPeriod <= 0 {
 		c.GossipPeriod = DefaultGossipPeriod
+	}
+	if c.GossipWindow <= 0 {
+		c.GossipWindow = DefaultGossipWindow
 	}
 	return c
 }

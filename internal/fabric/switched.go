@@ -172,8 +172,13 @@ func buildSwitched(eng *sim.Engine, nodes []*cluster.Node, cfg Config) *switched
 		})
 	}
 
-	// The gossip plane: one daemon per node, pushing through the fabric.
-	gcfg := infod.GossipConfig{Period: cfg.GossipPeriod, Fanout: cfg.GossipFanout}
+	// The gossip plane: one daemon per node, pushing its bounded window
+	// (and answering anti-entropy pulls) through the fabric.
+	gcfg := infod.GossipConfig{
+		Period:    cfg.GossipPeriod,
+		Fanout:    cfg.GossipFanout,
+		WindowLen: cfg.GossipWindow,
+	}
 	grng := prngForGossip(cfg.Seed)
 	s.gossip = make([]*infod.Gossip, n)
 	for i, node := range nodes {

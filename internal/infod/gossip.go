@@ -1,13 +1,23 @@
 // Decentralised gossip dissemination — the switched-fabric replacement for
 // the paired hub-spoke daemon exchange. One Gossip daemon runs per node;
-// every period it pushes its load vector (its own fresh sample plus the
-// entries it has heard) to a few random peers, entries age as they
-// propagate, and the t0 estimate AMPoM's Equation 3 consumes is derived
-// per origin from the observed gossip-path timing. Because an entry's age
-// accumulates queueing, scheduling delay and hop count, balancer policies
-// on a large fabric see staleness that grows with topology distance — the
-// MOSIX information-dissemination behaviour the related farm literature
-// describes, rather than the paper's two-node pairing.
+// every period it pushes a bounded window of its load vector — its own
+// fresh sample plus the l-1 most recently refreshed entries it has heard,
+// the openMosix "l freshest entries" dissemination — to a few distinct
+// random peers. Entries age as they propagate, and the t0 estimate AMPoM's
+// Equation 3 consumes is derived per origin from the observed gossip-path
+// timing. Because an entry's age accumulates queueing, scheduling delay and
+// hop count, balancer policies on a large fabric see staleness that grows
+// with topology distance — the MOSIX information-dissemination behaviour
+// the related farm literature describes, rather than the paper's two-node
+// pairing.
+//
+// Storage is compact: a daemon keeps only the origins it has actually
+// heard from (a map of cells plus a recency ring ordering them by last
+// refresh), never a dense length-n vector, so the whole gossip plane is
+// O(n·l·retention) resident rather than O(n²). Alongside the periodic
+// pushes, each daemon runs slower anti-entropy pull rounds: it asks one
+// random peer for that peer's current window, which heals partitions and
+// brings late joiners up to date even when pushes alone would starve them.
 package infod
 
 import (
@@ -20,26 +30,46 @@ import (
 	"ampom/internal/simtime"
 )
 
-// GossipConfig tunes a gossip daemon. Zero fields take defaults. The
-// fabric layer always passes Period and Fanout explicitly (resolved from
-// fabric.DefaultGossipPeriod/DefaultGossipFanout); the local defaults
-// here only serve direct NewGossip callers and mirror those values.
+// DefaultWindowLen is the default bounded-window size l: how many entries
+// (own sample included) one push or pull response carries.
+const DefaultWindowLen = 32
+
+// GossipConfig tunes a gossip daemon. Zero fields take defaults; the
+// fields marked "negative disables" treat any negative value as an
+// explicit off switch, so a zero-jitter or never-expiring configuration is
+// expressible (zero still means "use the default", as everywhere else in
+// the spec surface). The fabric layer always passes Period, Fanout and
+// WindowLen explicitly (resolved from fabric.DefaultGossipPeriod/
+// DefaultGossipFanout/DefaultGossipWindow); the local defaults here only
+// serve direct NewGossip callers and mirror those values.
 type GossipConfig struct {
 	// Period is the gossip push period. Default 2 s (the paired daemons'
 	// historical update period).
 	Period simtime.Duration
-	// Fanout is how many random peers each push round targets. Default 2.
+	// Fanout is how many distinct random peers each push round targets.
+	// Default 2.
 	Fanout int
-	// MaxAge drops entries older than this from outgoing vectors (they
-	// still serve local reads until overwritten). Default 30 s.
+	// WindowLen is l, the maximum number of entries (own sample included)
+	// one outgoing vector carries — the openMosix bounded partial view.
+	// Default DefaultWindowLen.
+	WindowLen int
+	// PullPeriod is the anti-entropy pull period: every PullPeriod the
+	// daemon asks one random peer for its window. Default 4×Period;
+	// negative disables pulls.
+	PullPeriod simtime.Duration
+	// MaxAge expires entries: they are dropped from outgoing vectors and
+	// local reads past MaxAge report Unknown. Default 30 s; negative
+	// disables aging entirely (entries never expire).
 	MaxAge simtime.Duration
 	// SchedDelay is the mean user-level scheduling delay before a daemon
 	// composes or merges a message. Default 6 ms, as for Config.
 	SchedDelay simtime.Duration
-	// Jitter is the fractional spread of SchedDelay. Default 0.5.
+	// Jitter is the fractional spread of SchedDelay. Default 0.5; negative
+	// disables jitter (every delay is exactly SchedDelay).
 	Jitter float64
 	// Alpha is the EWMA weight folding new age samples into the per-origin
-	// staleness estimate. Default 0.1.
+	// staleness estimate. Default 0.1; negative disables smoothing updates
+	// (the estimate pins to the first observed sample).
 	Alpha float64
 	// BandwidthFloorFrac floors the bandwidth estimate at this fraction of
 	// nominal capacity. Default 0.25.
@@ -57,17 +87,29 @@ func (c GossipConfig) withDefaults() GossipConfig {
 	if c.Fanout <= 0 {
 		c.Fanout = 2
 	}
+	if c.WindowLen <= 0 {
+		c.WindowLen = DefaultWindowLen
+	}
+	if c.PullPeriod == 0 {
+		c.PullPeriod = 4 * c.Period
+	}
 	if c.MaxAge == 0 {
 		c.MaxAge = 30 * simtime.Second
 	}
 	if c.SchedDelay == 0 {
 		c.SchedDelay = 6 * simtime.Millisecond
 	}
-	if c.Jitter == 0 {
+	switch {
+	case c.Jitter == 0:
 		c.Jitter = 0.5
+	case c.Jitter < 0:
+		c.Jitter = 0
 	}
-	if c.Alpha == 0 {
+	switch {
+	case c.Alpha == 0:
 		c.Alpha = 0.1
+	case c.Alpha < 0:
+		c.Alpha = 0
 	}
 	if c.BandwidthFloorFrac == 0 {
 		c.BandwidthFloorFrac = 0.25
@@ -110,11 +152,31 @@ type gossipEntryWire struct {
 	Entry  GossipEntry
 }
 
-// gossipMsg is one load-vector push.
+// gossipMsg is one load-vector push (or pull response — the receiver
+// merges both identically).
 type gossipMsg struct {
 	From    int
 	Entries []gossipEntryWire
 }
+
+// gossipPullMsg is one anti-entropy pull request: the receiver replies to
+// From with its own current window.
+type gossipPullMsg struct {
+	From int
+}
+
+// cell is one heard origin's state: the entry itself plus the per-origin
+// staleness EWMA, and the recency-ring position of the origin's latest
+// refresh (the dedup key the window composer checks).
+type cell struct {
+	entry   GossipEntry
+	ageEst  simtime.Duration
+	haveAge bool
+	ringPos int64
+}
+
+// sweepFloor is the minimum heard-set size before expiry sweeps trigger.
+const sweepFloor = 64
 
 // Gossip is one node's gossip dissemination daemon.
 type Gossip struct {
@@ -126,12 +188,23 @@ type Gossip struct {
 	send func(dst int, m netmodel.Message)
 	rng  *prng.Source
 
-	probe  func() LoadSample
-	ticker *sim.Ticker
+	probe      func() LoadSample
+	ticker     *sim.Ticker
+	pullTicker *sim.Ticker
 
-	entries []GossipEntry
-	ageEst  []simtime.Duration
-	haveAge []bool
+	// self is the daemon's own latest sample; cells holds only origins
+	// actually heard from. ring is a circular buffer of origin ids in
+	// refresh order (ringN total appends); an origin is current at ring
+	// position p iff its cell's ringPos == p, so the window composer walks
+	// the ring newest-first with O(1) dedup. sweepAt is the heard-set size
+	// that triggers the next amortised expiry sweep.
+	self    GossipEntry
+	cells   map[int]*cell
+	ring    []int32
+	ringN   int64
+	sweepAt int
+
+	peerScratch []int
 
 	// Bandwidth estimate state — the same NIC-counter differencing the
 	// paired daemon uses.
@@ -149,6 +222,10 @@ type Gossip struct {
 // registers its message handler on the node; call Start to begin pushing.
 func NewGossip(cfg GossipConfig, node *cluster.Node, id, n int, nominalBw float64, send func(dst int, m netmodel.Message), seed uint64) *Gossip {
 	cfg = cfg.withDefaults()
+	ringCap := 4 * cfg.WindowLen
+	if ringCap < sweepFloor {
+		ringCap = sweepFloor
+	}
 	g := &Gossip{
 		cfg:         cfg,
 		eng:         node.Eng,
@@ -157,9 +234,9 @@ func NewGossip(cfg GossipConfig, node *cluster.Node, id, n int, nominalBw float6
 		n:           n,
 		send:        send,
 		rng:         prng.New(seed),
-		entries:     make([]GossipEntry, n),
-		ageEst:      make([]simtime.Duration, n),
-		haveAge:     make([]bool, n),
+		cells:       make(map[int]*cell),
+		ring:        make([]int32, ringCap),
+		sweepAt:     sweepFloor,
 		nominalBw:   nominalBw,
 		minInterval: 10 * simtime.Millisecond,
 		lastAt:      node.Eng.Now(),
@@ -174,19 +251,26 @@ func (g *Gossip) ID() int { return g.id }
 // SetProbe installs the local load probe sampled at every push round.
 func (g *Gossip) SetProbe(f func() LoadSample) { g.probe = f }
 
-// Start begins periodic pushes.
+// Start begins periodic pushes (and, unless disabled, anti-entropy pulls).
 func (g *Gossip) Start() {
 	if g.ticker != nil {
 		return
 	}
 	g.ticker = sim.NewTicker(g.eng, g.cfg.Period, g.push)
+	if g.cfg.PullPeriod > 0 {
+		g.pullTicker = sim.NewTicker(g.eng, g.cfg.PullPeriod, g.pull)
+	}
 }
 
-// Stop halts periodic pushes.
+// Stop halts periodic pushes and pulls.
 func (g *Gossip) Stop() {
 	if g.ticker != nil {
 		g.ticker.Stop()
 		g.ticker = nil
+	}
+	if g.pullTicker != nil {
+		g.pullTicker.Stop()
+		g.pullTicker = nil
 	}
 }
 
@@ -196,126 +280,276 @@ func (g *Gossip) schedDelay() simtime.Duration {
 	return simtime.Duration(float64(g.cfg.SchedDelay) * j)
 }
 
-// push composes the outgoing load vector and hands it to fanout random
+// expired reports whether a stamp has aged out under MaxAge (negative
+// MaxAge: never).
+func (g *Gossip) expired(stamp, now simtime.Time) bool {
+	return g.cfg.MaxAge > 0 && now.Sub(stamp) > g.cfg.MaxAge
+}
+
+// compose re-probes the daemon's own sample and assembles the bounded
+// outgoing window: the fresh self entry plus the most recently refreshed
+// live entries off the recency ring, up to WindowLen total. Stale ring
+// slots (an origin refreshed again later, or an entry past MaxAge) are
+// skipped; expired cells encountered on the walk are reclaimed. The slice
+// is allocated per call because it escapes into the in-flight message.
+func (g *Gossip) compose(now simtime.Time) []gossipEntryWire {
+	if g.probe != nil {
+		g.self = GossipEntry{Sample: g.probe(), Stamp: now, Known: true}
+	} else {
+		g.self = GossipEntry{Stamp: now, Known: true}
+	}
+	max := g.cfg.WindowLen
+	if m := len(g.cells) + 1; m < max {
+		max = m
+	}
+	out := make([]gossipEntryWire, 0, max)
+	out = append(out, gossipEntryWire{Origin: g.id, Entry: g.self})
+	span := int64(len(g.ring))
+	if g.ringN < span {
+		span = g.ringN
+	}
+	for k := int64(1); k <= span && len(out) < g.cfg.WindowLen; k++ {
+		pos := g.ringN - k
+		o := int(g.ring[pos%int64(len(g.ring))])
+		c, ok := g.cells[o]
+		if !ok || c.ringPos != pos {
+			continue // origin refreshed since (a newer slot covers it) or reclaimed
+		}
+		if g.expired(c.entry.Stamp, now) {
+			delete(g.cells, o)
+			continue
+		}
+		out = append(out, gossipEntryWire{Origin: o, Entry: c.entry})
+	}
+	return out
+}
+
+// pickPeers selects k distinct random peers (never the daemon itself) by
+// rejection sampling into a reused scratch slice. One round's fanout never
+// lands on the same peer twice, so configured fanout is always realised.
+func (g *Gossip) pickPeers(k int) []int {
+	if k > g.n-1 {
+		k = g.n - 1
+	}
+	ps := g.peerScratch[:0]
+	for len(ps) < k {
+		dst := g.rng.Intn(g.n)
+		if dst == g.id {
+			continue
+		}
+		dup := false
+		for _, p := range ps {
+			if p == dst {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ps = append(ps, dst)
+		}
+	}
+	g.peerScratch = ps
+	return ps
+}
+
+// push composes the outgoing window and hands it to Fanout distinct random
 // peers, each after a scheduling delay. The vector is stamped at
 // composition time, as the paired daemon stamps its payload.
 func (g *Gossip) push() {
-	now := g.eng.Now()
-	if g.probe != nil {
-		g.entries[g.id] = GossipEntry{Sample: g.probe(), Stamp: now, Known: true}
-	} else {
-		g.entries[g.id] = GossipEntry{Stamp: now, Known: true}
-	}
-
-	// The snapshot is allocated exact-size per push: it escapes into the
-	// in-flight message (receivers merge it after link delivery, so the
-	// buffer cannot be pooled), but counting first avoids the append-growth
-	// copies that used to double the gossip plane's allocation churn.
-	fresh := 0
-	for _, e := range g.entries {
-		if e.Known && now.Sub(e.Stamp) <= g.cfg.MaxAge {
-			fresh++
-		}
-	}
-	snapshot := make([]gossipEntryWire, 0, fresh)
-	for o, e := range g.entries {
-		if !e.Known || now.Sub(e.Stamp) > g.cfg.MaxAge {
-			continue
-		}
-		snapshot = append(snapshot, gossipEntryWire{Origin: o, Entry: e})
+	snapshot := g.compose(g.eng.Now())
+	if g.n <= 1 {
+		return
 	}
 	size := g.cfg.MsgBytes + g.cfg.EntryBytes*int64(len(snapshot))
 	msg := gossipMsg{From: g.id, Entries: snapshot}
-
-	for k := 0; k < g.cfg.Fanout && g.n > 1; k++ {
-		dst := g.rng.Intn(g.n)
-		for dst == g.id {
-			dst = g.rng.Intn(g.n)
-		}
+	for _, dst := range g.pickPeers(g.cfg.Fanout) {
+		dst := dst
 		g.eng.Schedule(g.schedDelay(), func() {
 			g.send(dst, netmodel.Message{Size: size, Payload: msg})
 		})
 	}
 }
 
-// handle consumes gossip messages delivered to this node; the merge runs
-// after this side's scheduling delay (the daemon has to be woken and run).
-func (g *Gossip) handle(payload any) bool {
-	m, ok := payload.(gossipMsg)
-	if !ok {
-		return false
+// pull runs one anti-entropy round: ask a single random peer for its
+// current window. The response is an ordinary gossipMsg, merged like any
+// push — so a partitioned or late-joining daemon converges within a
+// bounded number of pull rounds once connectivity is back, even when the
+// push windows alone would starve it.
+func (g *Gossip) pull() {
+	if g.n <= 1 {
+		return
 	}
-	g.eng.Schedule(g.schedDelay(), func() { g.merge(m) })
-	return true
+	dst := g.pickPeers(1)[0]
+	msg := gossipPullMsg{From: g.id}
+	g.eng.Schedule(g.schedDelay(), func() {
+		g.send(dst, netmodel.Message{Size: g.cfg.MsgBytes, Payload: msg})
+	})
 }
 
-// merge folds a received load vector in: newer stamps win, hop counts
-// increment, and every accepted entry contributes an age sample to the
-// per-origin staleness estimate.
+// handle consumes gossip traffic delivered to this node; merges and pull
+// responses run after this side's scheduling delay (the daemon has to be
+// woken and run).
+func (g *Gossip) handle(payload any) bool {
+	switch m := payload.(type) {
+	case gossipMsg:
+		g.eng.Schedule(g.schedDelay(), func() { g.merge(m) })
+		return true
+	case gossipPullMsg:
+		g.eng.Schedule(g.schedDelay(), func() { g.servePull(m.From) })
+		return true
+	}
+	return false
+}
+
+// servePull answers one anti-entropy request with this daemon's window.
+func (g *Gossip) servePull(dst int) {
+	if dst == g.id || dst < 0 || dst >= g.n {
+		return
+	}
+	snapshot := g.compose(g.eng.Now())
+	size := g.cfg.MsgBytes + g.cfg.EntryBytes*int64(len(snapshot))
+	g.send(dst, netmodel.Message{Size: size, Payload: gossipMsg{From: g.id, Entries: snapshot}})
+}
+
+// merge folds a received window in: newer stamps win, hop counts
+// increment, accepted entries move to the head of the recency ring, and
+// every accepted entry contributes an age sample to the per-origin
+// staleness estimate. Entries already past MaxAge on arrival are not
+// resurrected.
 func (g *Gossip) merge(m gossipMsg) {
 	now := g.eng.Now()
 	for _, w := range m.Entries {
 		o := w.Origin
-		if o == g.id || o < 0 || o >= g.n {
+		if o == g.id || o < 0 || o >= g.n || !w.Entry.Known {
 			continue
 		}
-		cur := g.entries[o]
-		if cur.Known && w.Entry.Stamp <= cur.Stamp {
+		if g.expired(w.Entry.Stamp, now) {
 			continue
+		}
+		c, ok := g.cells[o]
+		if ok && w.Entry.Stamp <= c.entry.Stamp {
+			continue
+		}
+		if !ok {
+			c = &cell{}
+			g.cells[o] = c
 		}
 		e := w.Entry
 		e.Hops++
-		e.Known = true
-		g.entries[o] = e
-		g.recordAge(o, now.Sub(e.Stamp))
+		c.entry = e
+		c.ringPos = g.ringN
+		g.ring[g.ringN%int64(len(g.ring))] = int32(o)
+		g.ringN++
+		g.recordAge(c, now.Sub(e.Stamp))
+	}
+	g.maybeSweep(now)
+}
+
+// maybeSweep reclaims expired cells once the heard set crosses the sweep
+// threshold, then re-arms the threshold at twice the surviving size — an
+// amortised-O(1) bound that keeps a daemon's resident heard set within a
+// constant factor of the entries actually live under MaxAge. The expiry
+// set is a pure function of (cells, now), so the map-order iteration
+// cannot perturb determinism.
+func (g *Gossip) maybeSweep(now simtime.Time) {
+	if g.cfg.MaxAge <= 0 || len(g.cells) < g.sweepAt {
+		return
+	}
+	for o, c := range g.cells {
+		if g.expired(c.entry.Stamp, now) {
+			delete(g.cells, o)
+		}
+	}
+	g.sweepAt = 2 * len(g.cells)
+	if g.sweepAt < sweepFloor {
+		g.sweepAt = sweepFloor
 	}
 }
 
 // recordAge folds one observed entry age into the origin's EWMA.
-func (g *Gossip) recordAge(origin int, age simtime.Duration) {
+func (g *Gossip) recordAge(c *cell, age simtime.Duration) {
 	if age < 0 {
 		age = 0
 	}
-	if !g.haveAge[origin] {
-		g.ageEst[origin] = age
-		g.haveAge[origin] = true
+	if !c.haveAge {
+		c.ageEst = age
+		c.haveAge = true
 		return
 	}
 	a := g.cfg.Alpha
-	g.ageEst[origin] = simtime.Duration(a*float64(age) + (1-a)*float64(g.ageEst[origin]))
+	c.ageEst = simtime.Duration(a*float64(age) + (1-a)*float64(c.ageEst))
 }
 
-// Entry returns this daemon's current view of origin's load state.
-func (g *Gossip) Entry(origin int) GossipEntry { return g.entries[origin] }
+// Entry returns this daemon's current view of origin's load state. An
+// entry past MaxAge reads as unknown — local readers see the same expiry
+// the wire applies, never unbounded staleness.
+func (g *Gossip) Entry(origin int) GossipEntry {
+	if origin == g.id {
+		return g.self
+	}
+	c, ok := g.cells[origin]
+	if !ok || g.expired(c.entry.Stamp, g.eng.Now()) {
+		return GossipEntry{}
+	}
+	return c.entry
+}
 
 // EntryAge returns how stale the origin's entry is right now (and whether
-// one exists at all).
+// a live one exists at all — expired entries report absent).
 func (g *Gossip) EntryAge(origin int) (simtime.Duration, bool) {
-	e := g.entries[origin]
+	e := g.Entry(origin)
 	if !e.Known {
 		return 0, false
 	}
 	return g.eng.Now().Sub(e.Stamp), true
 }
 
+// Fresh calls f for every live (non-expired) entry this daemon currently
+// holds, own entry excluded. Callback order is map order — unspecified —
+// so callers must apply f per origin without cross-origin dependence (the
+// incremental gossip view writes one row per callback, which is order-free).
+func (g *Gossip) Fresh(f func(origin int, e GossipEntry)) {
+	now := g.eng.Now()
+	for o, c := range g.cells {
+		if g.expired(c.entry.Stamp, now) {
+			continue
+		}
+		f(o, c.entry)
+	}
+}
+
+// KnownCount reports how many origins currently read as live entries.
+func (g *Gossip) KnownCount() int {
+	n := 0
+	now := g.eng.Now()
+	for _, c := range g.cells {
+		if !g.expired(c.entry.Stamp, now) {
+			n++
+		}
+	}
+	return n
+}
+
 // AgeRTT returns the staleness-derived round-trip estimate for origin
 // (2× the smoothed one-way dissemination delay), if any sample arrived.
 func (g *Gossip) AgeRTT(origin int) (simtime.Duration, bool) {
-	if !g.haveAge[origin] {
+	c, ok := g.cells[origin]
+	if !ok || !c.haveAge {
 		return 0, false
 	}
-	return 2 * g.ageEst[origin], true
+	return 2 * c.ageEst, true
 }
 
 // MeanRTT is the mean staleness-derived round-trip estimate over every
 // origin heard from; with no samples yet it falls back to the freshly
-// joined daemon's prior (two scheduling delays).
+// joined daemon's prior (two scheduling delays). The sum is integer
+// arithmetic over per-origin estimates, so map order cannot perturb it.
 func (g *Gossip) MeanRTT() simtime.Duration {
 	var sum simtime.Duration
 	n := 0
-	for o := range g.ageEst {
-		if g.haveAge[o] {
-			sum += 2 * g.ageEst[o]
+	for _, c := range g.cells {
+		if c.haveAge {
+			sum += 2 * c.ageEst
 			n++
 		}
 	}

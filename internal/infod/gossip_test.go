@@ -111,6 +111,248 @@ func TestGossipStopHaltsPushes(t *testing.T) {
 	}
 }
 
+// gossipMesh wires n daemons into a full mesh with direct delivery after a
+// fixed delay, letting the test intercept (and optionally drop) every
+// message. cfg is used as given, so tests can pin windows, ages and pulls.
+func gossipMesh(t *testing.T, n int, cfg GossipConfig, delay simtime.Duration,
+	intercept func(src, dst int, m netmodel.Message) bool) (*sim.Engine, []*Gossip) {
+	t.Helper()
+	eng := sim.New()
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(eng, "g", 1)
+	}
+	daemons := make([]*Gossip, n)
+	for i := range daemons {
+		i := i
+		send := func(dst int, m netmodel.Message) {
+			if intercept != nil && !intercept(i, dst, m) {
+				return
+			}
+			eng.Schedule(delay, func() { nodes[dst].Deliver(m.Payload) })
+		}
+		daemons[i] = NewGossip(cfg, nodes[i], i, n, 11.36e6, send, uint64(1000+i))
+		daemons[i].SetProbe(func() LoadSample {
+			return LoadSample{Load: float64(i), Queue: 2 * i, UsedMemMB: int64(i)}
+		})
+		daemons[i].Start()
+	}
+	return eng, daemons
+}
+
+// TestGossipConfigNegativeDisables locks the config convention: zero still
+// means "use the default", while a negative Jitter/MaxAge/Alpha/PullPeriod
+// explicitly disables the mechanism — the knobs withDefaults used to
+// silently overwrite.
+func TestGossipConfigNegativeDisables(t *testing.T) {
+	def := GossipConfig{}.withDefaults()
+	if def.Jitter != 0.5 || def.Alpha != 0.1 || def.MaxAge != 30*simtime.Second {
+		t.Fatalf("zero knobs did not take defaults: %+v", def)
+	}
+	if def.WindowLen != DefaultWindowLen {
+		t.Fatalf("default window %d, want %d", def.WindowLen, DefaultWindowLen)
+	}
+	if def.PullPeriod != 4*def.Period {
+		t.Fatalf("default pull period %v, want 4×%v", def.PullPeriod, def.Period)
+	}
+	off := GossipConfig{Jitter: -1, MaxAge: -simtime.Second, Alpha: -0.5, PullPeriod: -1}.withDefaults()
+	if off.Jitter != 0 {
+		t.Fatalf("negative Jitter resolved to %g, want disabled (0)", off.Jitter)
+	}
+	if off.Alpha != 0 {
+		t.Fatalf("negative Alpha resolved to %g, want disabled (0)", off.Alpha)
+	}
+	if off.MaxAge > 0 {
+		t.Fatalf("negative MaxAge resolved to %v, want disabled", off.MaxAge)
+	}
+	if off.PullPeriod > 0 {
+		t.Fatalf("negative PullPeriod resolved to %v, want disabled", off.PullPeriod)
+	}
+	// Disabled jitter draws exactly SchedDelay, every time.
+	eng := sim.New()
+	g := NewGossip(GossipConfig{Jitter: -1}, cluster.NewNode(eng, "x", 1), 0, 2, 11.36e6,
+		func(int, netmodel.Message) {}, 1)
+	for i := 0; i < 8; i++ {
+		if d := g.schedDelay(); d != g.cfg.SchedDelay {
+			t.Fatalf("disabled jitter drew delay %v, want exactly %v", d, g.cfg.SchedDelay)
+		}
+	}
+}
+
+// TestGossipPushDistinctPeers locks the fanout fix: one push round never
+// targets the same peer twice, so configured fanout is always realised.
+// With fanout = n-1 every round must cover the entire peer set.
+func TestGossipPushDistinctPeers(t *testing.T) {
+	const n, fanout = 4, 3
+	sent := make(map[int][]int)
+	cfg := GossipConfig{
+		Period: simtime.Second, Fanout: fanout,
+		SchedDelay: simtime.Duration(1), Jitter: -1, PullPeriod: -1,
+	}
+	eng, _ := gossipMesh(t, n, cfg, simtime.Millisecond,
+		func(src, dst int, m netmodel.Message) bool {
+			if _, ok := m.Payload.(gossipMsg); ok {
+				sent[src] = append(sent[src], dst)
+			}
+			return true
+		})
+	eng.Run(simtime.Time(10500 * simtime.Millisecond))
+	for src := 0; src < n; src++ {
+		dsts := sent[src]
+		if len(dsts) < 10*fanout {
+			t.Fatalf("node %d pushed %d messages, want ≥ %d", src, len(dsts), 10*fanout)
+		}
+		// Scheduling delays are pinned, so sends arrive in per-round groups
+		// of exactly fanout; each group must cover all n-1 peers.
+		for r := 0; r+fanout <= len(dsts); r += fanout {
+			seen := map[int]bool{}
+			for _, d := range dsts[r : r+fanout] {
+				if d == src {
+					t.Fatalf("node %d pushed to itself", src)
+				}
+				if seen[d] {
+					t.Fatalf("node %d round %d drew peer %d twice: %v", src, r/fanout, d, dsts[r:r+fanout])
+				}
+				seen[d] = true
+			}
+		}
+	}
+}
+
+// TestGossipWindowBoundsWire locks the tentpole invariant: no message ever
+// carries more than WindowLen entries whatever the cluster size, while a
+// daemon's accumulated view still grows past the window.
+func TestGossipWindowBoundsWire(t *testing.T) {
+	const n, window = 40, 4
+	cfg := GossipConfig{Period: simtime.Second, Fanout: 2, WindowLen: window}
+	maxEntries, msgs := 0, 0
+	eng, daemons := gossipMesh(t, n, cfg, simtime.Millisecond,
+		func(src, dst int, m netmodel.Message) bool {
+			if g, ok := m.Payload.(gossipMsg); ok {
+				msgs++
+				if len(g.Entries) > maxEntries {
+					maxEntries = len(g.Entries)
+				}
+				if want := cfg.withDefaults().MsgBytes + cfg.withDefaults().EntryBytes*int64(len(g.Entries)); m.Size != want {
+					t.Fatalf("message size %d for %d entries, want %d", m.Size, len(g.Entries), want)
+				}
+			}
+			return true
+		})
+	eng.Run(simtime.Time(40 * simtime.Second))
+	if msgs == 0 {
+		t.Fatal("no gossip messages observed")
+	}
+	if maxEntries > window {
+		t.Fatalf("a push carried %d entries, window is %d", maxEntries, window)
+	}
+	best := 0
+	for _, g := range daemons {
+		if k := g.KnownCount(); k > best {
+			best = k
+		}
+	}
+	if best <= window {
+		t.Fatalf("windowed pushes capped knowledge at %d origins; views must accumulate past the window (%d)", best, window)
+	}
+}
+
+// TestGossipLocalReadsExpire locks the aging fix: entries past MaxAge stop
+// serving local reads (the row reads Unknown), instead of reporting
+// unbounded staleness to policies forever — while a negative MaxAge
+// explicitly disables expiry.
+func TestGossipLocalReadsExpire(t *testing.T) {
+	run := func(maxAge simtime.Duration) []*Gossip {
+		cfg := GossipConfig{Period: simtime.Second, Fanout: 2, MaxAge: maxAge}
+		eng, daemons := gossipMesh(t, 4, cfg, simtime.Millisecond, nil)
+		eng.Run(simtime.Time(10 * simtime.Second))
+		for i, g := range daemons {
+			for o := 0; o < 4; o++ {
+				if o != i && !g.Entry(o).Known {
+					t.Fatalf("daemon %d missing origin %d while gossiping", i, o)
+				}
+			}
+			g.Stop()
+		}
+		// Idle far past MaxAge with every daemon stopped: nothing refreshes.
+		eng.At(simtime.Time(30*simtime.Second), func() {})
+		eng.Run(simtime.Time(30 * simtime.Second))
+		return daemons
+	}
+
+	for i, g := range run(2 * simtime.Second) {
+		for o := 0; o < 4; o++ {
+			if o == i {
+				continue
+			}
+			if g.Entry(o).Known {
+				t.Fatalf("daemon %d still serves origin %d %v past MaxAge", i, o, 28*simtime.Second)
+			}
+			if _, ok := g.EntryAge(o); ok {
+				t.Fatalf("daemon %d reports an age for expired origin %d", i, o)
+			}
+		}
+		if g.KnownCount() != 0 {
+			t.Fatalf("daemon %d counts %d live entries past MaxAge", i, g.KnownCount())
+		}
+	}
+
+	// Negative MaxAge: aging disabled, stale entries serve forever.
+	for i, g := range run(-simtime.Second) {
+		for o := 0; o < 4; o++ {
+			if o != i && !g.Entry(o).Known {
+				t.Fatalf("daemon %d expired origin %d with aging disabled", i, o)
+			}
+		}
+	}
+}
+
+// TestGossipAntiEntropyHealsPartition locks the pull rounds' purpose: two
+// halves of a cluster are isolated from the first round (no cross entry is
+// ever learned), the partition heals, and within a bounded number of pull
+// rounds every daemon's view of every origin is Known — with a window much
+// smaller than the cluster, so any single push or pull carries only a
+// slice of the plane.
+func TestGossipAntiEntropyHealsPartition(t *testing.T) {
+	const (
+		n      = 10
+		healAt = simtime.Time(20 * simtime.Second)
+	)
+	cfg := GossipConfig{
+		Period: simtime.Second, Fanout: 1, WindowLen: 3,
+		PullPeriod: 2 * simtime.Second, MaxAge: 30 * simtime.Second,
+	}
+	var eng *sim.Engine
+	sideOf := func(i int) bool { return i < n/2 }
+	eng, daemons := gossipMesh(t, n, cfg, simtime.Millisecond,
+		func(src, dst int, m netmodel.Message) bool {
+			return eng.Now() >= healAt || sideOf(src) == sideOf(dst)
+		})
+
+	eng.Run(healAt)
+	for i, g := range daemons {
+		for o := 0; o < n; o++ {
+			if sideOf(i) != sideOf(o) && g.Entry(o).Known {
+				t.Fatalf("daemon %d knows cross-partition origin %d while partitioned", i, o)
+			}
+		}
+	}
+
+	// Bounded convergence: 10 pull rounds after the heal, every view of
+	// every origin must be live again.
+	eng.Run(healAt.Add(10 * cfg.PullPeriod))
+	for i, g := range daemons {
+		for o := 0; o < n; o++ {
+			if o == i {
+				continue
+			}
+			if !g.Entry(o).Known {
+				t.Fatalf("daemon %d still missing origin %d ten pull rounds after the heal", i, o)
+			}
+		}
+	}
+}
+
 func TestGossipDeterministicPeers(t *testing.T) {
 	run := func() []GossipEntry {
 		eng, daemons := gossipLine(t, 5, 2, simtime.Millisecond)

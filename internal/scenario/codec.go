@@ -82,6 +82,7 @@ type fabricJSON struct {
 	Oversub      float64 `json:"oversubscription,omitempty"`
 	GossipFanout int     `json:"gossip_fanout,omitempty"`
 	GossipPeriod string  `json:"gossip_period,omitempty"`
+	GossipWindow int     `json:"gossip_window,omitempty"`
 }
 
 type churnJSON struct {
@@ -191,6 +192,7 @@ func (s Spec) toJSON() specJSON {
 			Oversub:      f.Oversub,
 			GossipFanout: f.GossipFanout,
 			GossipPeriod: fmtDur(f.GossipPeriod),
+			GossipWindow: f.GossipWindow,
 		}
 	}
 	for _, c := range s.Churn {
@@ -275,6 +277,7 @@ func (sj specJSON) fromJSON() (Spec, error) {
 			Oversub:      sj.Fabric.Oversub,
 			GossipFanout: sj.Fabric.GossipFanout,
 			GossipPeriod: period,
+			GossipWindow: sj.Fabric.GossipWindow,
 		}
 	}
 	for i, c := range sj.Churn {

@@ -142,15 +142,20 @@ type clusterSim struct {
 
 	// viewScratch and gvScratch are the reusable row buffers handed to
 	// policies: the ground-truth copy, fully re-copied from the canonical
-	// rows at every balance round, and the per-source gossip view, fully
-	// rewritten at every hand-off. Policies do not retain a view past
-	// ShouldMigrate (the sched.BalancerPolicy contract); because nothing
-	// handed out survives a round boundary unrewritten, a policy that
-	// breaks the contract and scribbles on a retained slice still cannot
-	// corrupt the next round — the canonical rows live in lv and are never
-	// handed out.
+	// rows at every balance round, and the per-source gossip view,
+	// maintained incrementally — gvScratch is a persistent template of
+	// Unknown rows into which each hand-off writes only the source's exact
+	// row plus the rows its daemon actually knows (gvWritten records them,
+	// and the next hand-off restores exactly those back to the template),
+	// so a hand-off costs O(known set), not O(nodes). Policies do not
+	// retain a view past ShouldMigrate (the sched.BalancerPolicy
+	// contract); because nothing handed out survives a round boundary
+	// unrewritten, a policy that breaks the contract and scribbles on a
+	// retained slice still cannot corrupt the next round — the canonical
+	// rows live in lv and are never handed out.
 	viewScratch []sched.NodeView
 	gvScratch   []sched.NodeView
+	gvWritten   []int
 
 	// llBase and llGossip are the LeastLoaded memo cells of the two
 	// hand-off views, reset at each hand-off.
@@ -211,6 +216,7 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 		Oversub:        f.Oversub,
 		GossipFanout:   f.GossipFanout,
 		GossipPeriod:   f.GossipPeriod,
+		GossipWindow:   f.GossipWindow,
 		Network:        spec.Network,
 		BackgroundLoad: spec.BackgroundLoad,
 		Seed:           seed,
@@ -244,6 +250,12 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 			c.eng.Schedule(ev.At, func() {
 				c.nodes[ev.Node].CPUScale *= ev.Factor
 				c.lv.touch(ev.Node)
+				// A template (Unknown) row in the gossip-view scratch
+				// carries the live CPU scale; written rows are restored
+				// from the live nodes at the next hand-off anyway.
+				if c.gvScratch != nil && c.gvScratch[ev.Node].Unknown {
+					c.gvScratch[ev.Node].CPUScale = c.nodes[ev.Node].CPUScale
+				}
 			})
 		case ChurnNetLoad:
 			c.eng.Schedule(ev.At, func() { c.ic.SetBackgroundLoad(ev.Node, ev.Factor) })
@@ -403,12 +415,35 @@ func (c *clusterSim) view() sched.View {
 	return v
 }
 
+// unknownRow is the gossip view's template row for a node the deciding
+// daemon has no live entry for: infinite load (never a load target),
+// marked Unknown, but still carrying the node's CPU scale and physical
+// memory — capacity is cluster configuration every node knows, so the
+// memory usher sees an unknown node as unknown, not as zero-capacity.
+func (c *clusterSim) unknownRow(i int) sched.NodeView {
+	return sched.NodeView{
+		CPUScale:   c.nodes[i].CPUScale,
+		Load:       math.Inf(1),
+		CapacityMB: c.spec.NodeMemMB,
+		Unknown:    true,
+	}
+}
+
 // gossipView rewrites the ground-truth view into what the source node's
-// gossip daemon actually knows: every other node's row comes from the
-// daemon's aged entry (or is marked Unknown when gossip has not reached
-// it), while the node's own row stays exact — a node always knows itself.
+// gossip daemon actually knows: every row the daemon holds a live entry
+// for comes from that aged entry, the node's own row stays exact (a node
+// always knows itself), and everything else is the Unknown template.
 // Staleness therefore grows with topology distance, and so do the
 // policies' mistakes.
+//
+// The view is maintained incrementally, mirroring the live ground-truth
+// view: the scratch rows idle in the Unknown-template state, each call
+// first restores the rows the previous call wrote (recorded in gvWritten)
+// and then writes only the current daemon's known set — O(entries the
+// daemon holds), not O(nodes), per hand-off. InfoAge is derived lazily at
+// the decision instant from the entry's stamp, never stored. The write
+// order inside Fresh is the daemon's map order, but each callback touches
+// only its own origin's row, so the resulting view is order-independent.
 func (c *clusterSim) gossipView(src int, base sched.View) sched.View {
 	g := c.ic.Gossip(src)
 	if g == nil {
@@ -416,35 +451,37 @@ func (c *clusterSim) gossipView(src int, base sched.View) sched.View {
 	}
 	if c.gvScratch == nil {
 		c.gvScratch = make([]sched.NodeView, len(base.Nodes))
+		for i := range c.gvScratch {
+			c.gvScratch[i] = c.unknownRow(i)
+		}
+		c.gvWritten = make([]int, 0, len(base.Nodes))
 	}
+	for _, i := range c.gvWritten {
+		c.gvScratch[i] = c.unknownRow(i)
+	}
+	c.gvWritten = c.gvWritten[:0]
+
 	v := base
 	v.Nodes = c.gvScratch
 	v.CacheLeastLoaded(&c.llGossip)
 	now := c.eng.Now()
-	for i := range v.Nodes {
-		if i == src {
-			v.Nodes[i] = base.Nodes[i]
-			continue
+	c.gvScratch[src] = base.Nodes[src]
+	c.gvWritten = append(c.gvWritten, src)
+	g.Fresh(func(o int, e infod.GossipEntry) {
+		if o == src {
+			return
 		}
-		e := g.Entry(i)
-		if !e.Known {
-			v.Nodes[i] = sched.NodeView{
-				CPUScale: base.Nodes[i].CPUScale,
-				Load:     math.Inf(1),
-				Unknown:  true,
-			}
-			continue
-		}
-		v.Nodes[i] = sched.NodeView{
+		c.gvScratch[o] = sched.NodeView{
 			Procs:      e.Sample.Queue,
-			CPUScale:   base.Nodes[i].CPUScale,
+			CPUScale:   base.Nodes[o].CPUScale,
 			Load:       e.Sample.Load,
 			UsedMemMB:  e.Sample.UsedMemMB,
 			CapacityMB: c.spec.NodeMemMB,
 			QueueLen:   e.Sample.Queue,
 			InfoAge:    now.Sub(e.Stamp),
 		}
-	}
+		c.gvWritten = append(c.gvWritten, o)
+	})
 	return v
 }
 

@@ -193,6 +193,10 @@ type FabricSpec struct {
 	// GossipPeriod is the gossip push period (switched topologies;
 	// default 2 s, the paired daemons' historical update period).
 	GossipPeriod simtime.Duration
+	// GossipWindow is l, the bounded number of load-vector entries (own
+	// sample included) one gossip push or pull response carries — the
+	// openMosix windowed dissemination (switched topologies; default 32).
+	GossipWindow int
 }
 
 // Canonical resolves the fabric block's defaults. The star zeroes every
@@ -217,6 +221,9 @@ func (f FabricSpec) Canonical() FabricSpec {
 	}
 	if f.GossipPeriod == 0 {
 		f.GossipPeriod = fabric.DefaultGossipPeriod
+	}
+	if f.GossipWindow <= 0 {
+		f.GossipWindow = fabric.DefaultGossipWindow
 	}
 	return f
 }
@@ -248,6 +255,9 @@ func (f FabricSpec) Validate() error {
 	if f.GossipPeriod <= 0 {
 		return fmt.Errorf("scenario: non-positive gossip period %v", f.GossipPeriod)
 	}
+	if f.GossipWindow < 1 || f.GossipWindow > 1<<16 {
+		return fmt.Errorf("scenario: gossip window %d out of [1,65536]", f.GossipWindow)
+	}
 	return nil
 }
 
@@ -257,8 +267,8 @@ func (f FabricSpec) String() string {
 	if f.IsDefault() {
 		return f.Topology.String()
 	}
-	return fmt.Sprintf("%s/%d/%g/%d/%d",
-		f.Topology, f.RackSize, f.Oversub, f.GossipFanout, int64(f.GossipPeriod))
+	return fmt.Sprintf("%s/%d/%g/%d/%d/%d",
+		f.Topology, f.RackSize, f.Oversub, f.GossipFanout, int64(f.GossipPeriod), f.GossipWindow)
 }
 
 // ChurnKind names a mid-run disturbance.
@@ -627,7 +637,7 @@ func (s Spec) String() string {
 
 // PresetNames lists the built-in scenarios in presentation order.
 func PresetNames() []string {
-	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks", "rack-farm", "gossip-mesh", "mega-farm"}
+	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks", "rack-farm", "gossip-mesh", "mega-farm", "giga-farm"}
 }
 
 // Preset returns a named built-in scenario. The names model the cluster
@@ -783,10 +793,10 @@ func Preset(name string) (Spec, error) {
 		// rack-farm, the multi-thousand-node farm scale the openMosix
 		// HPC-farm literature aims at. A fifth of the machines are a
 		// generation older, the core is heavily oversubscribed, and the
-		// gossip period is stretched to 4 s: full-membership load vectors
-		// cost O(n) per push, so a 4096-node farm gossips at half the
-		// small-farm cadence — and balancer policies pay for it in
-		// staleness. Only the live, dirty-node-tracked cluster view keeps
+		// gossip period is stretched to 4 s, so a 4096-node farm gossips at
+		// half the small-farm cadence — and balancer policies pay for it in
+		// staleness, deciding from the bounded window of the farm that has
+		// reached them. Only the live, dirty-node-tracked cluster view keeps
 		// balance rounds at this scale within the event budget.
 		return Spec{
 			Name:            "mega-farm",
@@ -803,6 +813,38 @@ func Preset(name string) (Spec, error) {
 				Topology:     fabric.KindTwoTier,
 				RackSize:     64,
 				Oversub:      8,
+				GossipPeriod: 4 * simtime.Second,
+			},
+			Mix: []MixWeight{
+				{Kind: MixSequential, Weight: 3},
+				{Kind: MixBlocked, Weight: 1},
+			},
+		}.Canonical(), nil
+	case "giga-farm":
+		// The bounded-gossip acceptance scenario: 16384 nodes in 128 racks
+		// of 128, 65536 ranks dealt round-robin — a further order of
+		// magnitude past mega-farm, only reachable because dissemination is
+		// windowed: every push carries the l freshest entries instead of a
+		// full-membership vector, and every daemon stores only the origins
+		// it has recently heard (O(n·l) plane memory, not O(n²) — a dense
+		// 16k×16k entry matrix alone would be tens of gigabytes). Slow pull
+		// rounds keep the partial views converging while balancer policies
+		// decide from whatever window of the farm has reached them.
+		return Spec{
+			Name:            "giga-farm",
+			Nodes:           16384,
+			Procs:           65536,
+			SlowFrac:        0.2,
+			SlowScale:       0.5,
+			Arrival:         ArrivalBatch,
+			Placement:       PlaceRoundRobin,
+			MeanCompute:     4 * simtime.Second,
+			MeanFootprintMB: 32,
+			CostThreshold:   1.1,
+			Fabric: FabricSpec{
+				Topology:     fabric.KindTwoTier,
+				RackSize:     128,
+				Oversub:      16,
 				GossipPeriod: 4 * simtime.Second,
 			},
 			Mix: []MixWeight{

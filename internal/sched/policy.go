@@ -419,7 +419,10 @@ func (p memUsher) ShouldMigrate(v View, proc ProcView) (int, bool) {
 	}
 	best, bestFree := -1, int64(0)
 	for i, n := range v.Nodes {
-		if i == proc.Node || n.CapacityMB <= 0 {
+		// Unknown rows carry the cluster-configured capacity but no usage
+		// sample — ushering onto a node whose pressure is unknown could be
+		// exactly the paging disaster the policy exists to avoid.
+		if i == proc.Node || n.Unknown || n.CapacityMB <= 0 {
 			continue
 		}
 		if float64(n.UsedMemMB+proc.FootprintMB) > p.lowWater*float64(n.CapacityMB) {

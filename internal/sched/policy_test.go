@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math"
 	"sort"
 	"testing"
 
@@ -249,6 +250,29 @@ func TestMemUsherMovesOnPressureOnly(t *testing.T) {
 	v.Nodes[2].UsedMemMB = 900
 	if _, ok := MemUsherPolicy.ShouldMigrate(v, p); ok {
 		t.Fatal("ushered onto an already-pressured destination")
+	}
+}
+
+// TestMemUsherSkipsUnknownRows locks the partial-view contract: gossip
+// views hand the usher Unknown rows that still carry the cluster-wide
+// capacity (so free = capacity, the most tempting destination on the
+// board) but no usage sample. Ushering there could be exactly the paging
+// disaster the policy exists to avoid, so Unknown rows must never win.
+func TestMemUsherSkipsUnknownRows(t *testing.T) {
+	v := view([]int{4, 4, 4})
+	p := ProcView{Node: 0, Remaining: 10 * simtime.Second, FootprintMB: 128, WorkingSetFrac: 0.5}
+	v.Nodes[0].UsedMemMB = 1000
+	// Node 1: unknown, apparently empty. Node 2: known, partly full.
+	v.Nodes[1] = NodeView{CPUScale: 1, Load: math.Inf(1), CapacityMB: 1024, Unknown: true}
+	v.Nodes[2].UsedMemMB = 300
+	dest, ok := MemUsherPolicy.ShouldMigrate(v, p)
+	if !ok || dest != 2 {
+		t.Fatalf("usher chose (%d, %v), want the known node 2 over the unknown 1", dest, ok)
+	}
+	// Every destination unknown: hold, whatever the pressure.
+	v.Nodes[2] = NodeView{CPUScale: 1, Load: math.Inf(1), CapacityMB: 1024, Unknown: true}
+	if _, ok := MemUsherPolicy.ShouldMigrate(v, p); ok {
+		t.Fatal("ushered onto a node whose memory pressure is unknown")
 	}
 }
 
