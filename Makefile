@@ -36,12 +36,14 @@ examples-smoke:
 	$(GO) test -count=1 ./cmd/... ./examples/...
 
 # Short fuzz passes over the AMPoM per-fault analysis, the trace
-# combinator algebra and the scenario spec JSON codec (the full corpora
-# live in the build cache; run with a longer -fuzztime to dig).
+# combinator algebra, the scenario spec JSON codec and the event queue's
+# differential model against container/heap (the full corpora live in the
+# build cache; run with a longer -fuzztime to dig).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPrefetcherFault -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzCompose -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSpecRoundTrip -fuzztime 10s ./internal/scenario
+	$(GO) test -run '^$$' -fuzz FuzzQueueVsHeap -fuzztime 10s ./internal/eventq
 
 # BenchmarkCampaign compares a sequential full-matrix campaign against the
 # worker pool (byte-identical output either way).
@@ -59,20 +61,22 @@ bench-scenario:
 bench-balance:
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicySweep$$' -benchtime 1x .
 
-# BenchmarkFabric{512,4096,16384} run the rack-farm (512n/2048p),
-# mega-farm (4096n/16384p) and giga-farm (16384n/65536p) presets on their
-# two-tier switched fabrics with gossip dissemination, and FAIL if any
-# policy's events-per-simulated-second exceeds the fixed budgets — the
-# scale-out regression gates the incremental cluster view and the bounded
-# partial-view gossip plane are held to.
+# BenchmarkFabric{512,4096,16384,16384Shards} run the rack-farm
+# (512n/2048p), mega-farm (4096n/16384p) and giga-farm (16384n/65536p)
+# presets on their two-tier switched fabrics with gossip dissemination —
+# the giga-farm twice, sequentially and under the sharded event engine at
+# one shard per rack — and FAIL if any policy's
+# events-per-simulated-second exceeds the fixed budgets — the scale-out
+# regression gates the incremental cluster view, the bounded partial-view
+# gossip plane and the conservative shard scheduler are held to.
 bench-fabric:
-	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096|16384)$$' -benchtime 1x -timeout 30m .
+	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096|16384|16384Shards)$$' -benchtime 1x -timeout 30m .
 
 # bench-json runs the fabric gates and records them machine-readably in
 # BENCH_fabric.json (benchmark name -> ns/op, events/sim-s and the other
 # reported metrics), so the perf trajectory is diffable across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096|16384)$$' -benchtime 1x -timeout 30m . \
+	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096|16384|16384Shards)$$' -benchtime 1x -timeout 30m . \
 		| $(GO) run ./cmd/ampom-benchjson -o BENCH_fabric.json
 	@cat BENCH_fabric.json
 

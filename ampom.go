@@ -347,6 +347,15 @@ func RunScenario(spec ScenarioSpec, seed uint64) (*ScenarioReport, error) {
 	return scenario.Run(spec, seed)
 }
 
+// RunScenarioShards is RunScenario with the event engine sharded per rack
+// band across the given number of conservative-window workers (two-tier
+// fabrics only; clamped to the rack count, and any other topology runs
+// sequentially). Sharding is purely an execution strategy: every shard
+// count renders a byte-identical report.
+func RunScenarioShards(spec ScenarioSpec, seed uint64, shards int) (*ScenarioReport, error) {
+	return scenario.RunShards(spec, seed, shards)
+}
+
 // Scenario I/O: specs are versioned JSON documents (unknown fields
 // rejected, omitted fields defaulted) and reports encode to JSON and CSV,
 // so scenarios and their outcomes are shareable on-disk artefacts.

@@ -476,6 +476,36 @@ func BenchmarkFabric16384(b *testing.B) {
 	}
 }
 
+// BenchmarkFabric16384Shards is the giga-farm gate under the sharded
+// event engine at one shard per rack (128): the same workload, required
+// byte-identical to the sequential run — the event budget and migration
+// metric below would trip on any divergence — with the per-rack event
+// queues, gossip planes and link state advancing through conservative
+// lookahead windows. On multi-core hosts the windows fan across
+// goroutines; on a single core they run inline and measure the window
+// machinery's overhead.
+func BenchmarkFabric16384Shards(b *testing.B) {
+	spec, err := ScenarioPreset("giga-farm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	racks := (spec.Nodes + spec.Fabric.RackSize - 1) / spec.Fabric.RackSize
+	spec.Policies = []string{PolicyNoMigration, PolicyAMPoM, PolicyQueueGossip}
+	spec = spec.Canonical()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenarioShards(spec, 42, racks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		assertEventBudget(b, rep, fabric16384EventBudget, i == b.N-1)
+		if i == b.N-1 {
+			qg, _ := rep.Scheme(PolicyQueueGossip)
+			b.ReportMetric(float64(qg.Migrations), "qg_migrations")
+		}
+	}
+}
+
 // BenchmarkScenarioPresets fans every preset up to 512 nodes across the
 // campaign worker pool — the ampom-cluster -scenario all path. The
 // 4096-node mega-farm preset is gated separately (BenchmarkFabric4096,

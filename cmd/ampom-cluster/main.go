@@ -14,6 +14,7 @@
 //	ampom-cluster -scenario rack-farm                     # 512 nodes, two-tier fabric
 //	ampom-cluster -scenario hpc-farm -fabric two-tier     # override the topology
 //	ampom-cluster -scenario rack-farm -gossip-window 8    # shrink the gossip window
+//	ampom-cluster -scenario rack-farm -shards 4    # shard the event engine (same report bytes)
 //	ampom-cluster -spec farm.json          # run a user-defined spec file
 //	ampom-cluster -policies AMPoM,mem-usher                # restrict the policy set
 //	ampom-cluster -spec farm.json -o report.json           # persist the report
@@ -55,6 +56,7 @@ func main() {
 	list := flag.Bool("list", false, "list the preset scenarios, fabric topologies and registered policies, then exit")
 	nodes := flag.Int("nodes", 0, "override the preset's node count")
 	procs := flag.Int("procs", 0, "override the preset's process count")
+	shards := flag.Int("shards", 1, "event-engine shards per scenario run (two-tier fabrics; clamped to the rack count; reports are byte-identical at any value)")
 	cf := cli.AddCampaignFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -153,9 +155,12 @@ func main() {
 	}
 
 	eng := ampom.NewCampaignEngine(ampom.CampaignOptions{Workers: cf.Workers(), BaseSeed: cf.Seed})
+	if *shards < 1 {
+		cli.Usage("-shards %d: want a positive shard count", *shards)
+	}
 	batch := make([]ampom.ScenarioJob, len(specs))
 	for i, s := range specs {
-		batch[i] = ampom.ScenarioJob{Spec: s}
+		batch[i] = ampom.ScenarioJob{Spec: s, Shards: *shards}
 	}
 	// A partial failure still prints every healthy report; the aggregated
 	// failures go to stderr and the exit code reports them (the

@@ -18,6 +18,12 @@ import (
 // ScenarioJob identifies one cluster-scenario cell of a campaign.
 type ScenarioJob struct {
 	Spec scenario.Spec
+
+	// Shards selects the event-engine shard count the run executes with.
+	// It is an execution strategy, not a model parameter — every count
+	// yields a byte-identical report — so it stays out of the fingerprint
+	// (and therefore out of the cache key and seed).
+	Shards int
 }
 
 // Fingerprint returns the job's canonical cache/seed key, namespaced apart
@@ -42,7 +48,9 @@ func (e *Engine) RunScenario(job ScenarioJob) (*scenario.Report, error) {
 
 	rep, err, executed := e.scenarios.do(job.Fingerprint(),
 		func(r any) error { return fmt.Errorf("campaign: %v: panic during scenario: %v", job, r) },
-		func() (*scenario.Report, error) { return scenario.Run(job.Spec, e.SeedForScenario(job)) })
+		func() (*scenario.Report, error) {
+			return scenario.RunShards(job.Spec, e.SeedForScenario(job), job.Shards)
+		})
 	if executed {
 		e.statMu.Lock()
 		e.executed++

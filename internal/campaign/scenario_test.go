@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"ampom/internal/fabric"
 	"ampom/internal/scenario"
 	"ampom/internal/simtime"
 )
@@ -110,5 +111,49 @@ func TestScenarioFailureAggregation(t *testing.T) {
 func TestScenarioFingerprintNamespaced(t *testing.T) {
 	if !strings.HasPrefix(testScenario("x").Fingerprint(), "scenario|") {
 		t.Fatal("scenario fingerprints must not collide with migration-job fingerprints")
+	}
+}
+
+// TestScenarioShardsOutsideFingerprint locks that the shard count is an
+// execution strategy: it changes neither the job fingerprint (cache key,
+// seed) nor one byte of the report, and the single-flight cache therefore
+// shares work across shard counts.
+func TestScenarioShardsOutsideFingerprint(t *testing.T) {
+	fab := scenario.FabricSpec{Topology: fabric.KindTwoTier, RackSize: 2}
+	spec := scenario.Spec{
+		Name:            "shards-fp",
+		Nodes:           4,
+		Procs:           8,
+		MeanCompute:     4 * simtime.Second,
+		MeanFootprintMB: 32,
+		Fabric:          fab,
+	}.Canonical()
+	seq := ScenarioJob{Spec: spec}
+	sharded := ScenarioJob{Spec: spec, Shards: 2}
+	if seq.Fingerprint() != sharded.Fingerprint() {
+		t.Fatalf("shard count leaked into the fingerprint: %q != %q", seq.Fingerprint(), sharded.Fingerprint())
+	}
+
+	a, err := New(Options{BaseSeed: 7}).RunScenario(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{BaseSeed: 7}).RunScenario(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("sharded campaign run rendered a different report than the sequential run")
+	}
+
+	e := New(Options{BaseSeed: 7})
+	if _, err := e.RunScenario(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunScenario(sharded); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("shard counts missed the single-flight cache: executed %d, want 1", e.Executed())
 	}
 }

@@ -1,7 +1,13 @@
 // Package eventq implements the pending-event set of the discrete-event
-// simulator: a binary min-heap ordered by firing time, with a monotonically
-// increasing sequence number breaking ties so that events scheduled earlier
-// fire earlier. Stable tie-breaking is what makes simulations deterministic.
+// simulator: a binary min-heap ordered by firing time, then by the virtual
+// instant the event was scheduled at, then by a monotonically increasing
+// sequence number, so that events scheduled earlier fire earlier. In a
+// single-engine run the scheduling instant never decreases between pushes,
+// which makes (At, PushedAt, Seq) the same total order as (At, Seq) — but
+// a sharded run injects events pushed by other engines after the fact, and
+// PushedAt is what lets those merge into the exact slot the sequential
+// schedule would have given them. Stable tie-breaking is what makes
+// simulations deterministic.
 package eventq
 
 import "ampom/internal/simtime"
@@ -10,15 +16,31 @@ import "ampom/internal/simtime"
 // reachable through the handle returned by Push, which supports
 // cancellation.
 type Event struct {
-	At  simtime.Time // firing instant
-	Seq uint64       // insertion order, breaks At ties
-	Fn  func()       // callback; nil after cancellation
+	At       simtime.Time // firing instant
+	PushedAt simtime.Time // virtual instant the push happened; breaks At ties
+	Seq      uint64       // insertion order, breaks (At, PushedAt) ties
+	Fn       func()       // callback; nil after cancellation
 
-	index int // heap index, -1 once popped or cancelled
+	index int // heap index, or a sentinel once removed
 }
 
-// Cancelled reports whether the event was cancelled or already fired.
-func (e *Event) Cancelled() bool { return e.index < 0 && e.Fn == nil }
+// Sentinel index values marking how an event left the heap. Both are
+// negative so the "still pending" test stays index >= 0.
+const (
+	firedIndex     = -1
+	cancelledIndex = -2
+)
+
+// Fired reports whether the event was popped from the queue (and so has
+// run, or is about to). A cancelled event never fires.
+func (e *Event) Fired() bool { return e.index == firedIndex }
+
+// Cancelled reports whether the event was removed by Cancel before firing.
+// An event that already fired is not cancelled; see Fired.
+func (e *Event) Cancelled() bool { return e.index == cancelledIndex }
+
+// Done reports whether the event is no longer pending, for either reason.
+func (e *Event) Done() bool { return e.index < 0 }
 
 // Queue is a time-ordered event set. The zero value is ready to use.
 // Queue is not safe for concurrent use; the simulation engine owns it.
@@ -31,9 +53,11 @@ type Queue struct {
 func (q *Queue) Len() int { return len(q.heap) }
 
 // Push schedules fn to fire at instant at and returns a handle that can be
-// passed to Cancel.
-func (q *Queue) Push(at simtime.Time, fn func()) *Event {
-	e := &Event{At: at, Seq: q.seq, Fn: fn}
+// passed to Cancel. pushedAt is the virtual instant the scheduling happens
+// at (the engine clock of the pusher); it orders coincident firings ahead
+// of the insertion sequence.
+func (q *Queue) Push(at, pushedAt simtime.Time, fn func()) *Event {
+	e := &Event{At: at, PushedAt: pushedAt, Seq: q.seq, Fn: fn}
 	q.seq++
 	e.index = len(q.heap)
 	q.heap = append(q.heap, e)
@@ -65,7 +89,7 @@ func (q *Queue) Pop() *Event {
 	if len(q.heap) > 0 {
 		q.down(0)
 	}
-	e.index = -1
+	e.index = firedIndex
 	return e
 }
 
@@ -89,16 +113,20 @@ func (q *Queue) Cancel(e *Event) bool {
 			q.down(i)
 		}
 	}
-	e.index = -1
+	e.index = cancelledIndex
 	e.Fn = nil
 	return true
 }
 
-// less orders events by time, then by insertion sequence.
+// less orders events by firing time, then by scheduling instant, then by
+// insertion sequence.
 func (q *Queue) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]
 	if a.At != b.At {
 		return a.At < b.At
+	}
+	if a.PushedAt != b.PushedAt {
+		return a.PushedAt < b.PushedAt
 	}
 	return a.Seq < b.Seq
 }

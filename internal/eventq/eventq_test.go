@@ -12,7 +12,7 @@ func TestPopOrder(t *testing.T) {
 	var q Queue
 	times := []simtime.Time{5, 1, 3, 2, 4}
 	for _, at := range times {
-		q.Push(at, func() {})
+		q.Push(at, 0, func() {})
 	}
 	for want := simtime.Time(1); want <= 5; want++ {
 		e := q.Pop()
@@ -30,7 +30,7 @@ func TestTieBreakBySequence(t *testing.T) {
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
-		q.Push(7, func() { order = append(order, i) })
+		q.Push(7, 0, func() { order = append(order, i) })
 	}
 	for {
 		e := q.Pop()
@@ -51,8 +51,8 @@ func TestPeek(t *testing.T) {
 	if q.Peek() != nil {
 		t.Fatal("peek on empty queue should be nil")
 	}
-	q.Push(9, func() {})
-	e := q.Push(2, func() {})
+	q.Push(9, 0, func() {})
+	e := q.Push(2, 0, func() {})
 	if got := q.Peek(); got != e {
 		t.Fatalf("peek = %v, want earliest", got)
 	}
@@ -63,9 +63,9 @@ func TestPeek(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	var q Queue
-	a := q.Push(1, func() {})
-	b := q.Push(2, func() {})
-	c := q.Push(3, func() {})
+	a := q.Push(1, 0, func() {})
+	b := q.Push(2, 0, func() {})
+	c := q.Push(3, 0, func() {})
 	if !q.Cancel(b) {
 		t.Fatal("cancel of pending event returned false")
 	}
@@ -89,11 +89,48 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+// TestLifecycleAccessors pins the Fired/Cancelled/Done state machine: a
+// pending event reports none, a popped event reports fired (not
+// cancelled), a cancelled event reports cancelled (not fired).
+func TestLifecycleAccessors(t *testing.T) {
+	var q Queue
+	fired := q.Push(1, 0, func() {})
+	cancelled := q.Push(2, 0, func() {})
+	pending := q.Push(3, 0, func() {})
+
+	for _, e := range []*Event{fired, cancelled, pending} {
+		if e.Fired() || e.Cancelled() || e.Done() {
+			t.Fatalf("pending event reports fired=%v cancelled=%v done=%v",
+				e.Fired(), e.Cancelled(), e.Done())
+		}
+	}
+
+	if got := q.Pop(); got != fired {
+		t.Fatalf("pop = %v, want first event", got)
+	}
+	if !fired.Fired() || fired.Cancelled() || !fired.Done() {
+		t.Fatalf("popped event reports fired=%v cancelled=%v done=%v, want true/false/true",
+			fired.Fired(), fired.Cancelled(), fired.Done())
+	}
+	if fired.Fn == nil {
+		t.Fatal("pop cleared Fn; callers run the callback through the returned handle")
+	}
+
+	q.Cancel(cancelled)
+	if cancelled.Fired() || !cancelled.Cancelled() || !cancelled.Done() {
+		t.Fatalf("cancelled event reports fired=%v cancelled=%v done=%v, want false/true/true",
+			cancelled.Fired(), cancelled.Cancelled(), cancelled.Done())
+	}
+	if cancelled.Fn != nil {
+		t.Fatal("cancel left Fn set")
+	}
+}
+
 func TestCancelHead(t *testing.T) {
 	var q Queue
-	head := q.Push(1, func() {})
-	q.Push(2, func() {})
-	q.Push(3, func() {})
+	head := q.Push(1, 0, func() {})
+	q.Push(2, 0, func() {})
+	q.Push(3, 0, func() {})
 	q.Cancel(head)
 	if got := q.Pop(); got.At != 2 {
 		t.Fatalf("after cancelling head, pop.At = %v, want 2", got.At)
@@ -102,8 +139,8 @@ func TestCancelHead(t *testing.T) {
 
 func TestCancelLast(t *testing.T) {
 	var q Queue
-	q.Push(1, func() {})
-	last := q.Push(2, func() {})
+	q.Push(1, 0, func() {})
+	last := q.Push(2, 0, func() {})
 	q.Cancel(last)
 	if q.Len() != 1 {
 		t.Fatalf("len = %d, want 1", q.Len())
@@ -113,7 +150,7 @@ func TestCancelLast(t *testing.T) {
 func TestLen(t *testing.T) {
 	var q Queue
 	for i := 0; i < 100; i++ {
-		q.Push(simtime.Time(i), func() {})
+		q.Push(simtime.Time(i), 0, func() {})
 	}
 	if q.Len() != 100 {
 		t.Fatalf("len = %d", q.Len())
@@ -132,7 +169,7 @@ func TestPopsSortedProperty(t *testing.T) {
 	f := func(raw []uint32) bool {
 		var q Queue
 		for _, r := range raw {
-			q.Push(simtime.Time(r%1000), func() {})
+			q.Push(simtime.Time(r%1000), 0, func() {})
 		}
 		var prevAt simtime.Time = -1
 		var prevSeq uint64
@@ -163,7 +200,7 @@ func TestCancelRandomProperty(t *testing.T) {
 		var q Queue
 		var events []*Event
 		for _, r := range raw {
-			events = append(events, q.Push(simtime.Time(r), func() {}))
+			events = append(events, q.Push(simtime.Time(r), 0, func() {}))
 		}
 		var survivors []simtime.Time
 		for i, e := range events {

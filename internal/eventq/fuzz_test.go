@@ -1,0 +1,150 @@
+package eventq
+
+import (
+	"container/heap"
+	"testing"
+
+	"ampom/internal/simtime"
+)
+
+// refEvent mirrors Event inside the container/heap reference model.
+type refEvent struct {
+	at       simtime.Time
+	pushedAt simtime.Time
+	seq      uint64
+	index    int // heap index, -1 once removed
+}
+
+// refHeap is the trusted oracle: the standard library's heap over the same
+// (At, PushedAt, Seq) order the queue promises.
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pushedAt != h[j].pushedAt {
+		return h[i].pushedAt < h[j].pushedAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// FuzzQueueVsHeap drives an interleaved Push/Pop/Cancel schedule against
+// both the queue and the container/heap reference and fails on any
+// divergence in lengths, pop order or cancel outcomes. The byte stream is
+// consumed three bytes per operation: opcode, then two operands (firing
+// time and scheduling instant for pushes — deliberately unordered, the
+// queue is a plain priority set — or a handle selector for cancels).
+func FuzzQueueVsHeap(f *testing.F) {
+	// Pops interleaved with pushes.
+	f.Add([]byte{0, 5, 0, 0, 3, 0, 2, 0, 0, 0, 1, 0, 2, 0, 0, 2, 0, 0})
+	// Cancel of the last heap element (selector far past the live count
+	// wraps onto the newest handle).
+	f.Add([]byte{0, 1, 0, 0, 2, 0, 0, 3, 0, 3, 255, 255, 2, 0, 0})
+	// Cancel of the head while later, larger elements must sift down.
+	f.Add([]byte{0, 9, 0, 0, 1, 0, 0, 8, 0, 0, 7, 0, 3, 0, 1, 2, 0, 0, 2, 0, 0})
+	// Double cancel and cancel-after-pop: both must agree on "false".
+	f.Add([]byte{0, 4, 0, 3, 0, 0, 3, 0, 0, 0, 2, 0, 2, 0, 0, 3, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var (
+			q       Queue
+			ref     refHeap
+			handles []*Event    // every event ever pushed, in push order
+			refs    []*refEvent // the reference twin of each handle
+			seq     uint64
+		)
+		for len(data) >= 3 {
+			op, a, b := data[0], data[1], data[2]
+			data = data[3:]
+			switch op % 4 {
+			case 0, 1: // push — weighted so schedules actually grow
+				at := simtime.Time(a % 64)
+				pushedAt := simtime.Time(b % 16) // coarse, to force At+PushedAt ties
+				r := &refEvent{at: at, pushedAt: pushedAt, seq: seq}
+				seq++
+				handles = append(handles, q.Push(at, pushedAt, func() {}))
+				heap.Push(&ref, r)
+				refs = append(refs, r)
+			case 2: // pop
+				got := q.Pop()
+				if len(ref) == 0 {
+					if got != nil {
+						t.Fatalf("pop: queue returned (at=%v seq=%d), reference empty", got.At, got.Seq)
+					}
+					continue
+				}
+				want := heap.Pop(&ref).(*refEvent)
+				if got == nil {
+					t.Fatalf("pop: queue empty, reference has (at=%v seq=%d)", want.at, want.seq)
+				}
+				if got.At != want.at || got.Seq != want.seq {
+					t.Fatalf("pop: queue (at=%v seq=%d), reference (at=%v seq=%d)",
+						got.At, got.Seq, want.at, want.seq)
+				}
+				if !got.Fired() || got.Cancelled() {
+					t.Fatalf("popped event: Fired=%v Cancelled=%v, want true/false",
+						got.Fired(), got.Cancelled())
+				}
+			case 3: // cancel an arbitrary past handle (possibly already gone)
+				if len(handles) == 0 {
+					if q.Cancel(nil) {
+						t.Fatal("Cancel(nil) returned true")
+					}
+					continue
+				}
+				i := (int(a)<<8 | int(b)) % len(handles)
+				e, r := handles[i], refs[i]
+				got := q.Cancel(e)
+				want := r.index >= 0
+				if want {
+					heap.Remove(&ref, r.index)
+					r.index = -1
+				}
+				if got != want {
+					t.Fatalf("cancel handle %d: queue=%v, reference=%v", i, got, want)
+				}
+				if got && !e.Cancelled() {
+					t.Fatal("successful Cancel left Cancelled() false")
+				}
+			}
+			if q.Len() != len(ref) {
+				t.Fatalf("len: queue=%d, reference=%d", q.Len(), len(ref))
+			}
+		}
+		// Drain both; the tails must agree element for element.
+		for {
+			got := q.Pop()
+			if len(ref) == 0 {
+				if got != nil {
+					t.Fatalf("drain: queue returned (at=%v seq=%d), reference empty", got.At, got.Seq)
+				}
+				return
+			}
+			want := heap.Pop(&ref).(*refEvent)
+			if got == nil || got.At != want.at || got.Seq != want.seq {
+				t.Fatalf("drain: queue %v, reference (at=%v seq=%d)", got, want.at, want.seq)
+			}
+		}
+	})
+}

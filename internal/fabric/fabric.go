@@ -129,6 +129,27 @@ type Config struct {
 	BackgroundLoad float64
 	// Seed drives the daemon jitter and gossip peer-selection streams.
 	Seed uint64
+	// Sharding, when non-nil, spreads the fabric across per-shard engines
+	// for conservative parallel runs (two-tier only). Nil builds the
+	// sequential fabric on eng.
+	Sharding *Sharding
+}
+
+// Sharding wires a two-tier fabric for sharded execution: each rack's
+// links live on the engine of the shard owning its nodes, and anything
+// crossing a shard boundary is staged through the group's barriers.
+type Sharding struct {
+	// ShardOf maps node → shard. All nodes of a rack must share a shard.
+	ShardOf []int
+	// Engines are the shard engines, indexed by shard.
+	Engines []*sim.Engine
+	// Group coordinates the windows; link deliveries that cross shards are
+	// staged through it.
+	Group *sim.ShardGroup
+	// GlobalPayload classifies payloads whose node-side delivery must run
+	// on the group's global engine (migrations: the restore path touches
+	// both endpoint daemons). Nil treats every payload as shard-local.
+	GlobalPayload func(payload any) bool
 }
 
 // The shape and gossip defaults — the single source scenario's FabricSpec
@@ -220,8 +241,16 @@ type Interconnect interface {
 // envelope wraps a routed payload: the node pair it travels between and
 // the original message. Switch vertices (and the star hub) forward it;
 // the destination node unwraps it and dispatches the inner payload.
+//
+// rank is the sharded-build injection tie-break: assigned once at the
+// originating Send in that send's order within its scheduling phase, it
+// rides every hop, so two envelopes marching through the fabric on
+// identical timetables (same instant, same sizes, same link profiles)
+// stage their deliveries in origination order — the order one sequential
+// engine's insertion sequence gives them. Zero on unsharded builds.
 type envelope struct {
 	src, dst int
+	rank     uint64
 	inner    netmodel.Message
 }
 

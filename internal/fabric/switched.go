@@ -46,10 +46,33 @@ type switched struct {
 	// star hub shares the hub node's).
 	nicOf []*netmodel.NIC
 
-	links    []*netmodel.Link
-	linkTier []int
-	edgeLink []int   // edgeLink[node] is the node's uplink into the fabric
-	nextHop  [][]int // nextHop[vertex][dstNode] = link index
+	links     []*netmodel.Link
+	linkTier  []int
+	linkBytes []int64 // carried bytes per link; TierStats sums per tier
+	edgeLink  []int   // edgeLink[node] is the node's uplink into the fabric
+
+	// Routing state: the tree is regular enough that the next hop is
+	// computed, not tabulated — a nextHop[vertex][dstNode] table costs
+	// O(vertices·nodes) memory (2.2 GB at 16k nodes) for what three
+	// comparisons answer.
+	rackOf []int // node → rack (all zero on flat fabrics)
+	uplink []int // two-tier: rack → core uplink link index
+	spine  int   // two-tier core vertex, or -1
+
+	// Sharded builds only: the sharding plan, the rack → shard map, and
+	// the conservative lookahead (the fabric's one-way latency — the
+	// minimum delay before one shard's action can reach another).
+	shard       *Sharding
+	shardOfRack []int
+	lookahead   simtime.Duration
+
+	// Envelope rank counters (sharded builds): mergeRank serves Sends made
+	// while the group executes a coincident instant single-threaded (the
+	// global phase — migrations), preserving their initiation order;
+	// shardRank[i] serves Sends made inside shard i's window, where only
+	// that shard's worker touches its slot.
+	mergeRank uint64
+	shardRank []uint64
 
 	tiers  []TierStats
 	gossip []*infod.Gossip
@@ -75,6 +98,34 @@ func buildSwitched(eng *sim.Engine, nodes []*cluster.Node, cfg Config) *switched
 			rackOf[i] = i / cfg.RackSize
 		}
 	}
+	s.rackOf = rackOf
+	s.lookahead = cfg.Network.LatencyOneWay
+
+	sh := cfg.Sharding
+	s.shard = sh
+	if sh != nil {
+		if cfg.Kind != KindTwoTier {
+			panic(fmt.Sprintf("fabric: sharded build requires the two-tier topology, got %v", cfg.Kind))
+		}
+		if len(sh.ShardOf) != n {
+			panic(fmt.Sprintf("fabric: sharding maps %d nodes, cluster has %d", len(sh.ShardOf), n))
+		}
+		// Shards own whole racks: a rack's leaf, edge links and uplink all
+		// live on one engine, so the only cross-engine traffic is through
+		// the core — the hop the lookahead window covers.
+		s.shardOfRack = make([]int, racks)
+		for r := range s.shardOfRack {
+			s.shardOfRack[r] = sh.ShardOf[r*cfg.RackSize]
+		}
+		for i, si := range sh.ShardOf {
+			if si < 0 || si >= len(sh.Engines) {
+				panic(fmt.Sprintf("fabric: node %d assigned to shard %d of %d", i, si, len(sh.Engines)))
+			}
+			if si != s.shardOfRack[rackOf[i]] {
+				panic(fmt.Sprintf("fabric: rack %d straddles shards %d and %d", rackOf[i], s.shardOfRack[rackOf[i]], si))
+			}
+		}
+	}
 
 	// Vertex layout: nodes, then leaf switches, then (two-tier) the core.
 	nVerts := n + racks
@@ -83,6 +134,7 @@ func buildSwitched(eng *sim.Engine, nodes []*cluster.Node, cfg Config) *switched
 		spine = n + racks
 		nVerts++
 	}
+	s.spine = spine
 	s.nicOf = make([]*netmodel.NIC, nVerts)
 	for i, node := range nodes {
 		s.nicOf[i] = node.NIC
@@ -108,11 +160,12 @@ func buildSwitched(eng *sim.Engine, nodes []*cluster.Node, cfg Config) *switched
 	// core). Uplinks: each leaf to the core, carrying RackSize/Oversub
 	// node-links' worth of bandwidth.
 	s.tiers = []TierStats{{Name: "edge"}}
-	addLink := func(a, b, tier int, profile netmodel.Profile, bg float64) int {
-		l := netmodel.NewLink(eng, profile, s.nicOf[a], s.nicOf[b])
+	addLink := func(le *sim.Engine, a, b, tier int, profile netmodel.Profile, bg float64) int {
+		l := netmodel.NewLink(le, profile, s.nicOf[a], s.nicOf[b])
 		l.SetBackgroundLoad(bg)
 		s.links = append(s.links, l)
 		s.linkTier = append(s.linkTier, tier)
+		s.linkBytes = append(s.linkBytes, 0)
 		s.tiers[tier].Links++
 		s.tiers[tier].CapacityBps += profile.BandwidthBps
 		return len(s.links) - 1
@@ -122,38 +175,28 @@ func buildSwitched(eng *sim.Engine, nodes []*cluster.Node, cfg Config) *switched
 		if cfg.Kind == KindFlat {
 			up = n // the single switch
 		}
-		s.edgeLink[i] = addLink(i, up, tierEdge, cfg.Network, cfg.BackgroundLoad)
+		le := eng
+		if sh != nil {
+			le = sh.Engines[sh.ShardOf[i]]
+		}
+		s.edgeLink[i] = addLink(le, i, up, tierEdge, cfg.Network, cfg.BackgroundLoad)
 	}
-	uplink := make([]int, racks)
+	s.uplink = make([]int, racks)
 	if cfg.Kind == KindTwoTier {
 		s.tiers = append(s.tiers, TierStats{Name: "core"})
 		upProfile := cfg.Network
 		upProfile.Name = fmt.Sprintf("%s-uplink", cfg.Network.Name)
 		upProfile.BandwidthBps = cfg.Network.BandwidthBps * float64(cfg.RackSize) / cfg.Oversub
 		for r := 0; r < racks; r++ {
-			uplink[r] = addLink(n+r, spine, tierCore, upProfile, 0)
+			le := eng
+			if sh != nil {
+				le = sh.Engines[s.shardOfRack[r]]
+			}
+			s.uplink[r] = addLink(le, n+r, spine, tierCore, upProfile, 0)
 		}
 	}
-
-	// Static routing: next link toward every destination node.
-	s.nextHop = make([][]int, nVerts)
-	for v := range s.nextHop {
-		s.nextHop[v] = make([]int, n)
-		for d := 0; d < n; d++ {
-			switch {
-			case v < n: // a node forwards up its edge link
-				s.nextHop[v][d] = s.edgeLink[v]
-			case v == spine: // the core descends into the destination rack
-				s.nextHop[v][d] = uplink[rackOf[d]]
-			default: // a leaf (or the flat switch)
-				r := v - n
-				if cfg.Kind == KindFlat || rackOf[d] == r {
-					s.nextHop[v][d] = s.edgeLink[d]
-				} else {
-					s.nextHop[v][d] = uplink[r]
-				}
-			}
-		}
+	if sh != nil {
+		s.wireSharding(cfg)
 	}
 
 	// Node-side delivery: unwrap envelopes arriving at their destination.
@@ -190,22 +233,119 @@ func buildSwitched(eng *sim.Engine, nodes []*cluster.Node, cfg Config) *switched
 	return s
 }
 
+// wireSharding installs the cross-shard routing on a sharded two-tier
+// fabric. A shard owns its racks' edge links and uplinks, so the only
+// deliveries that may land on foreign state are (a) arrivals at the core,
+// whose onward hop belongs to the destination rack's shard, and (b) final
+// node-side deliveries of global payloads, whose handlers mutate state the
+// coordinator owns. Both are staged through the group's barriers; the
+// conservative lookahead (one edge latency, which every delivery pays on
+// top of a positive serialisation delay) guarantees staged instants land
+// strictly beyond the window they were staged in.
+func (s *switched) wireSharding(cfg Config) {
+	sh := s.shard
+	s.shardRank = make([]uint64, len(sh.Engines))
+	spineNIC := s.nicOf[s.spine]
+	// The core never runs events of its own under sharding, and its links'
+	// senders live on different engines — it keeps no counters so that no
+	// NIC has concurrent writers. Nothing in the model reads them.
+	spineNIC.Quiet = true
+	for r := range s.uplink {
+		sr := s.shardOfRack[r]
+		l := s.links[s.uplink[r]]
+		l.SetDeliveryRouter(func(to *netmodel.NIC, m netmodel.Message, at simtime.Time, deliver func()) bool {
+			if to != spineNIC {
+				return false // core→leaf: the uplink already runs on the rack's shard
+			}
+			env, ok := m.Payload.(*envelope)
+			if !ok {
+				panic(fmt.Sprintf("fabric: core received non-envelope payload %T", m.Payload))
+			}
+			// The core hop, on the engine owning the destination rack's
+			// links. The standard delivery bookkeeping stays dropped in the
+			// same-shard case too — one behaviour for the silent core, and
+			// one event per hop exactly like the sequential schedule.
+			sh.Group.Stage(sr, s.shardOfRack[s.rackOf[env.dst]], at, env.rank, func() { s.forward(s.spine, env) })
+			return true
+		})
+	}
+	for i := range s.nodes {
+		si := sh.ShardOf[i]
+		nodeNIC := s.nicOf[i]
+		l := s.links[s.edgeLink[i]]
+		l.SetDeliveryRouter(func(to *netmodel.NIC, m netmodel.Message, at simtime.Time, deliver func()) bool {
+			if to != nodeNIC || sh.GlobalPayload == nil {
+				return false
+			}
+			env, ok := m.Payload.(*envelope)
+			if !ok || !sh.GlobalPayload(env.inner.Payload) {
+				return false
+			}
+			// Final hop of a global payload (a migration): the restore path
+			// mutates both endpoints' daemons, so the delivery — with its
+			// full link and NIC bookkeeping — runs in the global phase.
+			sh.Group.Stage(si, sim.GlobalShard, at, env.rank, deliver)
+			return true
+		})
+	}
+}
+
 // Kind reports the topology.
 func (s *switched) Kind() Kind { return s.kind }
 
+// Lookahead is the conservative window bound a sharded run of this fabric
+// may use: the one-way edge latency, the soonest one shard's action can
+// become visible to another.
+func (s *switched) Lookahead() simtime.Duration { return s.lookahead }
+
 // Send routes m from node src to node dst along the tree path, one
-// store-and-forward hop at a time.
+// store-and-forward hop at a time. On sharded builds the envelope is
+// ranked at this origination point: Sends from the group's single-threaded
+// coincident-instant phase draw a shared counter (their initiation order),
+// Sends from inside a shard's window draw that shard's counter under the
+// shard's own high bits — each counter has exactly one writer.
 func (s *switched) Send(src, dst int, m netmodel.Message) {
 	if src == dst {
 		panic(fmt.Sprintf("fabric: send from node %d to itself", src))
 	}
-	s.forward(src, &envelope{src: src, dst: dst, inner: m})
+	env := &envelope{src: src, dst: dst, inner: m}
+	if s.shard != nil {
+		if s.shard.Group.InMerge() {
+			s.mergeRank++
+			env.rank = s.mergeRank
+		} else {
+			si := s.shard.ShardOf[src]
+			s.shardRank[si]++
+			env.rank = 1<<63 | uint64(si)<<40 | s.shardRank[si]
+		}
+	}
+	s.forward(src, env)
+}
+
+// hop returns the link carrying traffic for destination node dst onward
+// from vertex v: nodes forward up their edge link, the core descends into
+// the destination rack, and a leaf (or the flat switch) delivers locally
+// or climbs its uplink.
+func (s *switched) hop(v, dst int) int {
+	n := len(s.nodes)
+	switch {
+	case v < n:
+		return s.edgeLink[v]
+	case v == s.spine:
+		return s.uplink[s.rackOf[dst]]
+	default:
+		r := v - n
+		if s.kind == KindFlat || s.rackOf[dst] == r {
+			return s.edgeLink[dst]
+		}
+		return s.uplink[r]
+	}
 }
 
 // forward ships an envelope one hop onward from vertex v.
 func (s *switched) forward(v int, env *envelope) {
-	li := s.nextHop[v][env.dst]
-	s.tiers[s.linkTier[li]].Bytes += env.inner.Size
+	li := s.hop(v, env.dst)
+	s.linkBytes[li] += env.inner.Size
 	s.links[li].Send(s.nicOf[v], netmodel.Message{Size: env.inner.Size, Payload: env})
 }
 
@@ -274,8 +414,13 @@ func (s *switched) SetBackgroundLoad(node int, frac float64) {
 func (s *switched) Gossip(i int) *infod.Gossip { return s.gossip[i] }
 
 // TierStats reports per-tier link counts, capacity and carried bytes.
+// Bytes are kept per link (each link has exactly one writer, which is what
+// lets shards account their own traffic) and summed per tier here.
 func (s *switched) TierStats() []TierStats {
 	out := make([]TierStats, len(s.tiers))
 	copy(out, s.tiers)
+	for li, b := range s.linkBytes {
+		out[s.linkTier[li]].Bytes += b
+	}
 	return out
 }

@@ -94,6 +94,12 @@ type NIC struct {
 	Name     string
 	Counters Counters
 	handler  Handler
+
+	// Quiet suppresses counter updates. Interior fabric vertices (switch
+	// cores) whose links live on different shard engines set it so that no
+	// NIC has concurrent counter writers; nothing in the model reads a
+	// switch's counters.
+	Quiet bool
 }
 
 // NewNIC returns a NIC delivering received messages to handler.
@@ -107,8 +113,10 @@ func (n *NIC) SetHandler(h Handler) { n.handler = h }
 
 // deliver records and dispatches an arriving message.
 func (n *NIC) deliver(m Message) {
-	n.Counters.RxBytes += m.Size
-	n.Counters.RxMsgs++
+	if !n.Quiet {
+		n.Counters.RxBytes += m.Size
+		n.Counters.RxMsgs++
+	}
 	if n.handler != nil {
 		n.handler(m)
 	}
@@ -134,7 +142,20 @@ type Link struct {
 
 	// Delivered counts messages delivered in both directions.
 	Delivered int64
+
+	// router, when set, is offered every delivery before it is scheduled
+	// on the link's engine. See SetDeliveryRouter.
+	router DeliveryRouter
 }
+
+// DeliveryRouter intercepts a delivery scheduled for NIC to at instant at.
+// Returning true claims the delivery: the link schedules nothing and the
+// router must arrange for deliver (which updates the link's Delivered
+// count and the NIC's RX counters before dispatching) to run at at, or
+// substitute its own dispatch. A sharded fabric uses this to land
+// deliveries on the engine that owns the receiver's state instead of the
+// engine the sender ran on.
+type DeliveryRouter func(to *NIC, m Message, at simtime.Time, deliver func()) bool
 
 // NewLink connects two NICs with the given profile.
 func NewLink(eng *sim.Engine, profile Profile, a, b *NIC) *Link {
@@ -192,14 +213,25 @@ func (l *Link) Send(from *NIC, m Message) simtime.Time {
 	*busy = departure
 	arrival := departure.Add(l.profile.LatencyOneWay)
 
-	from.Counters.TxBytes += m.Size
-	from.Counters.TxMsgs++
-	l.eng.At(arrival, func() {
+	if !from.Quiet {
+		from.Counters.TxBytes += m.Size
+		from.Counters.TxMsgs++
+	}
+	deliver := func() {
 		l.Delivered++
 		to.deliver(m)
-	})
+	}
+	if l.router != nil && l.router(to, m, arrival, deliver) {
+		return arrival
+	}
+	l.eng.At(arrival, deliver)
 	return arrival
 }
+
+// SetDeliveryRouter installs (or, with nil, removes) a delivery router on
+// the link. With no router every delivery is scheduled on the link's own
+// engine, which is the sequential behaviour.
+func (l *Link) SetDeliveryRouter(r DeliveryRouter) { l.router = r }
 
 // QueueDelay returns how long a message handed to the link right now would
 // wait before starting serialisation in the from→peer direction.

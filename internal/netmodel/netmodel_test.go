@@ -228,3 +228,65 @@ func TestArrivalMonotonicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDeliveryRouterClaimsScheduling(t *testing.T) {
+	p := Profile{BandwidthBps: 1e6, LatencyOneWay: 10 * simtime.Millisecond}
+	eng, l, a, b, arrivals := testLink(p)
+	var claimed []simtime.Time
+	var claimedFns []func()
+	l.SetDeliveryRouter(func(to *NIC, m Message, at simtime.Time, deliver func()) bool {
+		if to != b {
+			return false
+		}
+		claimed = append(claimed, at)
+		claimedFns = append(claimedFns, deliver)
+		return true
+	})
+
+	// b-ward delivery is claimed: the link schedules nothing itself.
+	arrival := l.Send(a, Message{Size: 1000})
+	if want := simtime.Time(11 * simtime.Millisecond); arrival != want {
+		t.Fatalf("arrival = %v, want %v", arrival, want)
+	}
+	eng.RunAll()
+	if len(*arrivals) != 0 || len(claimed) != 1 || claimed[0] != arrival {
+		t.Fatalf("claimed = %v, arrivals = %v, want claim at %v and no delivery", claimed, *arrivals, arrival)
+	}
+	// Running the captured deliver performs the full bookkeeping.
+	claimedFns[0]()
+	if l.Delivered != 1 || b.Counters.RxBytes != 1000 || len(*arrivals) != 1 {
+		t.Fatalf("deliver closure: Delivered=%d RxBytes=%d arrivals=%v", l.Delivered, b.Counters.RxBytes, *arrivals)
+	}
+
+	// a-ward deliveries are declined by this router and flow normally.
+	l.Send(b, Message{Size: 1000})
+	eng.RunAll()
+	if len(*arrivals) != 2 || len(claimed) != 1 {
+		t.Fatalf("declined direction: arrivals=%v claimed=%v", *arrivals, claimed)
+	}
+
+	// Removing the router restores sequential behaviour.
+	l.SetDeliveryRouter(nil)
+	l.Send(a, Message{Size: 1000})
+	eng.RunAll()
+	if len(*arrivals) != 3 {
+		t.Fatalf("after router removal: arrivals=%v", *arrivals)
+	}
+}
+
+func TestQuietNICSuppressesCounters(t *testing.T) {
+	p := Profile{BandwidthBps: 1e6, LatencyOneWay: 0}
+	eng, l, a, b, arrivals := testLink(p)
+	a.Quiet, b.Quiet = true, true
+	l.Send(a, Message{Size: 1000})
+	eng.RunAll()
+	if len(*arrivals) != 1 {
+		t.Fatalf("quiet NICs must still deliver: arrivals=%v", *arrivals)
+	}
+	if a.Counters != (Counters{}) || b.Counters != (Counters{}) {
+		t.Fatalf("quiet NICs recorded counters: a=%+v b=%+v", a.Counters, b.Counters)
+	}
+	if l.Delivered != 1 {
+		t.Fatalf("Delivered = %d, want 1 (link counters are not NIC counters)", l.Delivered)
+	}
+}

@@ -25,6 +25,9 @@ func FuzzSpecRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"version": 1, "fabric": {"topology": "flat", "gossip_fanout": 3, "gossip_period": "500ms"}}`))
 	f.Add([]byte(`{"version": 1, "fabric": {"topology": "star"}, "load_vector_len": 7}`))
 	f.Add([]byte(`{"version": 1, "churn": [{"at": "2s", "kind": "balloon", "node": 1, "factor": 8}]}`))
+	// Overlapping node tiers must be rejected (slow+fast > 1 would
+	// silently truncate the fast tier in buildWorkload).
+	f.Add([]byte(`{"version": 1, "slow_frac": 0.7, "fast_frac": 0.7}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s1, err := DecodeSpec(data)

@@ -57,14 +57,27 @@ type liveView struct {
 	rows  []sched.NodeView
 	order []int
 
-	dirty     []bool
-	dirtyList []int
+	// The dirty set is split per shard so that concurrent shard phases of a
+	// sharded run never share an append target: touch(i) records i on the
+	// list of the shard owning node i, and only that shard's worker (or the
+	// barrier-separated global phase) ever touches node i. refresh drains
+	// the lists in shard order; the result is order-independent because row
+	// derivation is per node and the load order is a strict total order.
+	// Sequential runs have one shard, i.e. exactly one list.
+	dirty   []bool
+	dirtyBy [][]int
+	shardOf []int // nil: every node on shard 0
 }
 
 // newLiveView builds the zero-process state: every row at load zero, the
 // source order the identity (what sorting an all-zero cluster yields).
-func newLiveView(nodes []*cluster.Node, capMB int64) *liveView {
+// shardOf maps node → shard over shards shards for sharded runs; nil (with
+// shards <= 1) keeps the whole dirty set on one list.
+func newLiveView(nodes []*cluster.Node, capMB int64, shardOf []int, shards int) *liveView {
 	n := len(nodes)
+	if shards < 1 {
+		shards = 1
+	}
 	lv := &liveView{
 		nodes:      nodes,
 		capMB:      capMB,
@@ -75,8 +88,10 @@ func newLiveView(nodes []*cluster.Node, capMB int64) *liveView {
 		rows:       make([]sched.NodeView, n),
 		order:      make([]int, n),
 		dirty:      make([]bool, n),
-		dirtyList:  make([]int, 0, n),
+		dirtyBy:    make([][]int, shards),
+		shardOf:    shardOf,
 	}
+	lv.dirtyBy[0] = make([]int, 0, n)
 	for i := range lv.rows {
 		lv.rows[i] = sched.NodeView{CPUScale: nodes[i].CPUScale, CapacityMB: capMB}
 		lv.order[i] = i
@@ -90,8 +105,21 @@ func newLiveView(nodes []*cluster.Node, capMB int64) *liveView {
 func (lv *liveView) touch(i int) {
 	if !lv.dirty[i] {
 		lv.dirty[i] = true
-		lv.dirtyList = append(lv.dirtyList, i)
+		s := 0
+		if lv.shardOf != nil {
+			s = lv.shardOf[i]
+		}
+		lv.dirtyBy[s] = append(lv.dirtyBy[s], i)
 	}
+}
+
+// dirtyCount sums the queued dirty marks across shards.
+func (lv *liveView) dirtyCount() int {
+	n := 0
+	for _, list := range lv.dirtyBy {
+		n += len(list)
+	}
+	return n
 }
 
 // arrive admits p to its node: resident, runnable, memory and the
@@ -155,25 +183,29 @@ func (lv *liveView) memDelta(i int, delta int64) {
 // rebuild plus sort would. With an empty dirty set it is a no-op — the
 // usual case between events.
 func (lv *liveView) refresh() {
-	if len(lv.dirtyList) == 0 {
+	if lv.dirtyCount() == 0 {
 		return
 	}
-	for _, i := range lv.dirtyList {
-		scale := lv.nodes[i].CPUScale
-		lv.rows[i] = sched.NodeView{
-			Procs:      lv.live[i],
-			CPUScale:   scale,
-			Load:       float64(lv.live[i]) / scale,
-			UsedMemMB:  lv.mem[i],
-			CapacityMB: lv.capMB,
-			QueueLen:   lv.live[i],
+	for _, list := range lv.dirtyBy {
+		for _, i := range list {
+			scale := lv.nodes[i].CPUScale
+			lv.rows[i] = sched.NodeView{
+				Procs:      lv.live[i],
+				CPUScale:   scale,
+				Load:       float64(lv.live[i]) / scale,
+				UsedMemMB:  lv.mem[i],
+				CapacityMB: lv.capMB,
+				QueueLen:   lv.live[i],
+			}
 		}
 	}
 	lv.repairOrder()
-	for _, i := range lv.dirtyList {
-		lv.dirty[i] = false
+	for s, list := range lv.dirtyBy {
+		for _, i := range list {
+			lv.dirty[i] = false
+		}
+		lv.dirtyBy[s] = list[:0]
 	}
-	lv.dirtyList = lv.dirtyList[:0]
 }
 
 // before is the source-order key: descending load, ascending node index on
@@ -199,11 +231,13 @@ func (lv *liveView) repairOrder() {
 		}
 	}
 	lv.order = lv.order[:k]
-	for _, n := range lv.dirtyList {
-		at := sort.Search(len(lv.order), func(j int) bool { return lv.before(n, lv.order[j]) })
-		lv.order = append(lv.order, 0)
-		copy(lv.order[at+1:], lv.order[at:])
-		lv.order[at] = n
+	for _, list := range lv.dirtyBy {
+		for _, n := range list {
+			at := sort.Search(len(lv.order), func(j int) bool { return lv.before(n, lv.order[j]) })
+			lv.order = append(lv.order, 0)
+			copy(lv.order[at+1:], lv.order[at:])
+			lv.order[at] = n
+		}
 	}
 }
 

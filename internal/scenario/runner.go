@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 
 	"ampom/internal/cluster"
 	"ampom/internal/core"
@@ -57,10 +59,22 @@ func buildWorkload(spec Spec, seed uint64) (scales []float64, procs []procTempla
 
 	mix := spec.sortedMix()
 	draw := func(id, node int, at simtime.Time) procTemplate {
+		// The PRNG draw order (demand, footprint, mix, trace seed) is
+		// golden-locked; keep it when editing.
+		demand := simtime.Duration(float64(spec.MeanCompute) * (0.25 + 1.5*rng.Float64()))
+		// mean/2 + Uint64n(mean) is in [mean/2, 3·mean/2) — strictly
+		// positive except at the degenerate mean of 1 MB, where 0/2 +
+		// Uint64n(1) draws a 0 MB process that mem-aware policies would
+		// migrate for free. Clamp only that case so every other mean keeps
+		// its historical draws (goldens depend on them).
+		footprint := spec.MeanFootprintMB/2 + int64(rng.Uint64n(uint64(spec.MeanFootprintMB)))
+		if footprint < 1 {
+			footprint = 1
+		}
 		t := procTemplate{
 			id:          id,
-			demand:      simtime.Duration(float64(spec.MeanCompute) * (0.25 + 1.5*rng.Float64())),
-			footprintMB: spec.MeanFootprintMB/2 + int64(rng.Uint64n(uint64(spec.MeanFootprintMB))),
+			demand:      demand,
+			footprintMB: footprint,
 			mix:         drawMix(mix, rng),
 			node:        node,
 			arriveAt:    at,
@@ -130,6 +144,16 @@ type clusterSim struct {
 	nodes []*cluster.Node
 	ic    fabric.Interconnect
 
+	// Sharded runs: the per-shard engines (each owning a contiguous band
+	// of racks), the node → shard map and the conservative window
+	// coordinator. An effective shard count of 1 leaves them nil and runs
+	// the classic sequential engine — and every shard count produces a
+	// byte-identical report (the contract the shard goldens pin).
+	shards  int
+	shardOf []int
+	engines []*sim.Engine
+	group   *sim.ShardGroup
+
 	procs   []*proc
 	doneN   int
 	horizon simtime.Time
@@ -174,10 +198,54 @@ type clusterSim struct {
 	st SchemeStats
 }
 
-// newClusterSim wires the cluster: nodes, the interconnect fabric with its
-// monitoring plane, the migration payload handlers, arrivals, churn and
-// the two tickers.
+// newClusterSim wires the cluster for a sequential run. See
+// newClusterSimShards.
 func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.BalancerPolicy, seed uint64) *clusterSim {
+	return newClusterSimShards(spec, scales, tmpl, pol, seed, 1)
+}
+
+// shardPlan resolves the effective shard count and the node → shard map
+// for a spec. Sharding requires the two-tier fabric — shards own whole
+// racks and exchange only through the core, the hop whose latency is the
+// conservative lookahead — so every other topology (and a degenerate
+// latency) clamps to the sequential count of 1. Racks map to shards in
+// contiguous bands, at most one shard per rack.
+func shardPlan(spec Spec, shards int) (int, []int) {
+	f := spec.Fabric.Canonical()
+	if shards <= 1 || f.Topology != fabric.KindTwoTier || spec.Network.LatencyOneWay <= 0 {
+		return 1, nil
+	}
+	racks := (spec.Nodes + f.RackSize - 1) / f.RackSize
+	if shards > racks {
+		shards = racks
+	}
+	if shards <= 1 {
+		return 1, nil
+	}
+	shardOf := make([]int, spec.Nodes)
+	for i := range shardOf {
+		shardOf[i] = (i / f.RackSize) * shards / racks
+	}
+	return shards, shardOf
+}
+
+// forceShardWorkers makes sharded runs use the goroutine-per-shard window
+// pool even on a single-CPU host; the shard golden tests set it so the
+// race detector exercises the real cross-goroutine handoff.
+var forceShardWorkers = false
+
+// shardWorkers reports whether sharded windows should run on goroutines.
+// Both modes execute the identical schedule; inline execution just skips
+// the goroutine overhead where no parallel hardware would repay it.
+func shardWorkers() bool { return forceShardWorkers || runtime.GOMAXPROCS(0) > 1 }
+
+// newClusterSimShards wires the cluster: nodes, the interconnect fabric
+// with its monitoring plane, the migration payload handlers, arrivals,
+// churn and the two tickers. With an effective shard count above 1 each
+// rack band's nodes, links and gossip daemons live on a shard engine and
+// the run advances through conservative lookahead windows; the global
+// engine keeps everything cross-shard (ticks, balancing, migrations).
+func newClusterSimShards(spec Spec, scales []float64, tmpl []procTemplate, pol sched.BalancerPolicy, seed uint64, shards int) *clusterSim {
 	c := &clusterSim{
 		spec: spec,
 		pol:  pol,
@@ -190,9 +258,24 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 		st:      SchemeStats{Policy: pol.Name()},
 	}
 
+	c.shards, c.shardOf = shardPlan(spec, shards)
+	if c.shards > 1 {
+		c.engines = make([]*sim.Engine, c.shards)
+		for i := range c.engines {
+			c.engines[i] = sim.New()
+		}
+		c.group = sim.NewShardGroup(c.eng, c.engines, spec.Network.LatencyOneWay, shardWorkers())
+	}
+	engOf := func(node int) *sim.Engine {
+		if c.group == nil {
+			return c.eng
+		}
+		return c.engines[c.shardOf[node]]
+	}
+
 	c.nodes = make([]*cluster.Node, spec.Nodes)
 	for i := range c.nodes {
-		c.nodes[i] = cluster.NewNode(c.eng, fmt.Sprintf("n%03d", i), scales[i])
+		c.nodes[i] = cluster.NewNode(engOf(i), fmt.Sprintf("n%03d", i), scales[i])
 		node := i
 		c.nodes[i].Handle(func(payload any) bool {
 			m, ok := payload.(migMsg)
@@ -203,13 +286,24 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 			return true
 		})
 	}
-	c.lv = newLiveView(c.nodes, spec.NodeMemMB)
+	c.lv = newLiveView(c.nodes, spec.NodeMemMB, c.shardOf, c.shards)
 
 	// The interconnect: topology, per-link queues and the monitoring
 	// plane (paired daemons on the star, gossip on switched fabrics). Its
 	// internal seed streams derive from the scenario seed, so every
 	// policy observes identical daemon behaviour.
 	f := spec.Fabric.Canonical()
+	var shcfg *fabric.Sharding
+	if c.group != nil {
+		shcfg = &fabric.Sharding{
+			ShardOf: c.shardOf,
+			Engines: c.engines,
+			Group:   c.group,
+			// Migration payloads restore through both endpoints' daemons,
+			// so their final delivery belongs to the global phase.
+			GlobalPayload: func(p any) bool { _, ok := p.(migMsg); return ok },
+		}
+	}
 	c.ic = fabric.Build(c.eng, c.nodes, fabric.Config{
 		Kind:           f.Topology,
 		RackSize:       f.RackSize,
@@ -220,7 +314,17 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 		Network:        spec.Network,
 		BackgroundLoad: spec.BackgroundLoad,
 		Seed:           seed,
+		Sharding:       shcfg,
 	})
+	if c.group != nil {
+		// The group's window bound and the fabric's declared minimum
+		// cross-shard latency must agree, or conservative execution is
+		// unsound.
+		lk := c.ic.(interface{ Lookahead() simtime.Duration }).Lookahead()
+		if lk != c.group.Lookahead() {
+			panic(fmt.Sprintf("scenario: fabric lookahead %v != shard window %v", lk, c.group.Lookahead()))
+		}
+	}
 	for i := 0; i < spec.Nodes; i++ {
 		if g := c.ic.Gossip(i); g != nil {
 			g.SetProbe(c.probeFor(i))
@@ -237,7 +341,10 @@ func newClusterSim(spec Spec, scales []float64, tmpl []procTemplate, pol sched.B
 			node:        t.node,
 		}
 		c.procs[i] = p
-		c.eng.At(t.arriveAt, func() {
+		// Arrival is a shard event: it touches only the template node's
+		// slice of the live view (a process cannot have migrated before it
+		// arrived).
+		engOf(t.node).At(t.arriveAt, func() {
 			p.arrived = true
 			c.lv.arrive(p)
 		})
@@ -326,7 +433,12 @@ func (c *clusterSim) balloon(ev ChurnEvent) {
 // run executes the simulation to completion (or the horizon) and finalises
 // the statistics.
 func (c *clusterSim) run() SchemeStats {
-	end := c.eng.Run(c.horizon)
+	var end simtime.Time
+	if c.group != nil {
+		end = c.group.Run(c.horizon)
+	} else {
+		end = c.eng.Run(c.horizon)
+	}
 	if c.st.Makespan == 0 {
 		c.st.Makespan = simtime.Duration(end)
 	}
@@ -347,7 +459,14 @@ func (c *clusterSim) run() SchemeStats {
 	c.st.MeanSlowdown = slow / float64(len(c.procs))
 
 	c.st.FinalRTT = c.ic.MeanRTT()
-	c.st.Events = c.eng.Processed
+	// Every sequential event maps one-to-one onto a shard or global event
+	// (routed deliveries replace, never add), so the sum reproduces the
+	// sequential count exactly.
+	if c.group != nil {
+		c.st.Events = c.group.Processed()
+	} else {
+		c.st.Events = c.eng.Processed
+	}
 	// Tier utilisation is a switched-fabric artefact; legacy star reports
 	// keep their pre-fabric shape.
 	if !c.spec.Fabric.IsDefault() {
@@ -412,6 +531,18 @@ func (c *clusterSim) view() sched.View {
 		SampleLen:     c.spec.LoadVectorLen,
 	}
 	v.CacheLeastLoaded(&c.llBase)
+	// Seed the memo from the live view's sorted order instead of letting
+	// the first LeastLoaded call rescan all rows: the order is (load desc,
+	// index asc), so the min-load class is the suffix and its first
+	// element is exactly the scan's answer — the lowest index at minimum
+	// load. Binary search finds the suffix start in O(log n).
+	if n := len(c.lv.order); n > 0 {
+		minLoad := c.viewScratch[c.lv.order[n-1]].Load
+		p := sort.Search(n, func(i int) bool {
+			return c.viewScratch[c.lv.order[i]].Load <= minLoad
+		})
+		c.llBase = c.lv.order[p]
+	}
 	return v
 }
 
@@ -467,6 +598,11 @@ func (c *clusterSim) gossipView(src int, base sched.View) sched.View {
 	now := c.eng.Now()
 	c.gvScratch[src] = base.Nodes[src]
 	c.gvWritten = append(c.gvWritten, src)
+	// Seed the LeastLoaded memo while writing: every unwritten row is the
+	// infinite-load Unknown template, so the argmin over written rows —
+	// lowest index on load ties, matching the scan's order — is the
+	// scan's answer, and the O(nodes) pass per hand-off disappears.
+	bestO, bestL := src, base.Nodes[src].Load
 	g.Fresh(func(o int, e infod.GossipEntry) {
 		if o == src {
 			return
@@ -481,7 +617,11 @@ func (c *clusterSim) gossipView(src int, base sched.View) sched.View {
 			InfoAge:    now.Sub(e.Stamp),
 		}
 		c.gvWritten = append(c.gvWritten, o)
+		if l := e.Sample.Load; l < bestL || (l == bestL && o < bestO) {
+			bestO, bestL = o, l
+		}
 	})
+	c.llGossip = bestO
 	return v
 }
 
@@ -700,6 +840,16 @@ func (c *clusterSim) prefetchCensus(p *proc, est core.Estimates, wsPages int64) 
 // arguments: the same (Spec, seed) always yields an identical Report.
 // Report rows follow the canonical (registry-sorted) policy order.
 func Run(spec Spec, seed uint64) (*Report, error) {
+	return RunShards(spec, seed, 1)
+}
+
+// RunShards is Run with the event engine sharded per rack band across
+// shards conservative-window workers (clamped to the rack count; 1 — or
+// any non-two-tier fabric — is the sequential engine). Sharding is an
+// execution strategy, not a model parameter: every shard count yields a
+// byte-identical Report, so it never participates in fingerprints or
+// seeds.
+func RunShards(spec Spec, seed uint64, shards int) (*Report, error) {
 	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -714,7 +864,7 @@ func Run(spec Spec, seed uint64) (*Report, error) {
 	scales, tmpl := buildWorkload(spec, seed)
 	rep := &Report{Spec: spec, Seed: seed, Procs: len(tmpl)}
 	for _, pol := range pols {
-		st := newClusterSim(spec, scales, tmpl, pol, seed).run()
+		st := newClusterSimShards(spec, scales, tmpl, pol, seed, shards).run()
 		rep.Schemes = append(rep.Schemes, st)
 	}
 	if base := rep.Baseline().MeanSlowdown; base > 0 {

@@ -495,8 +495,14 @@ func (s Spec) validateShape() error {
 	if s.Nodes < 2 {
 		return fmt.Errorf("scenario: need at least 2 nodes, have %d", s.Nodes)
 	}
-	if s.SlowFrac < 0 || s.FastFrac < 0 || s.SlowFrac+s.FastFrac > 1 {
-		return fmt.Errorf("scenario: node-tier fractions slow=%g fast=%g out of range", s.SlowFrac, s.FastFrac)
+	// Written as the positive condition so NaN fractions fail too: every
+	// comparison against NaN is false, which made the old negated form
+	// (frac < 0 || ...) wave NaNs through into buildWorkload. The sum also
+	// rejects overlapping tiers (slow+fast > 1), where the fast tier would
+	// silently truncate and the fingerprint would promise a node mix the
+	// run never realises.
+	if !(s.SlowFrac >= 0 && s.FastFrac >= 0 && s.SlowFrac+s.FastFrac <= 1) {
+		return fmt.Errorf("scenario: node-tier fractions slow=%g fast=%g out of range (want non-negative, slow+fast <= 1)", s.SlowFrac, s.FastFrac)
 	}
 	if s.SlowScale <= 0 || s.FastScale <= 0 {
 		return fmt.Errorf("scenario: non-positive CPU scale")

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -92,6 +93,9 @@ func TestValidateRejects(t *testing.T) {
 	bad := []Spec{
 		{Nodes: 1},
 		{SlowFrac: 0.7, FastFrac: 0.7},
+		{SlowFrac: math.NaN()},
+		{FastFrac: math.NaN()},
+		{SlowFrac: math.NaN(), FastFrac: math.NaN()},
 		{Skew: 2},
 		{BackgroundLoad: 0.99},
 		{Quantum: -simtime.Millisecond},
@@ -280,6 +284,20 @@ func TestWorkloadSharedAcrossPolicies(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("template %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFootprintDrawNeverZero pins the degenerate-mean clamp: a 1 MB mean
+// footprint (0/2 + Uint64n(1) == 0 before the clamp) must still yield
+// processes that cost something to migrate.
+func TestFootprintDrawNeverZero(t *testing.T) {
+	spec := small()
+	spec.MeanFootprintMB = 1
+	_, procs := buildWorkload(spec.Canonical(), 42)
+	for _, p := range procs {
+		if p.footprintMB < 1 {
+			t.Fatalf("proc %d drew a %d MB footprint at mean 1 MB", p.id, p.footprintMB)
 		}
 	}
 }

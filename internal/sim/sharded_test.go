@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ampom/internal/simtime"
+)
+
+func newTestGroup(shards int, parallel bool) *ShardGroup {
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		engines[i] = New()
+	}
+	return NewShardGroup(New(), engines, simtime.Millisecond, parallel)
+}
+
+func TestShardGroupDrainsAllEngines(t *testing.T) {
+	g := newTestGroup(2, false)
+	var got []string
+	g.Shards[0].At(simtime.Time(1*simtime.Millisecond), func() { got = append(got, "s0@1ms") })
+	g.Shards[1].At(simtime.Time(2*simtime.Millisecond), func() { got = append(got, "s1@2ms") })
+	g.Global.At(simtime.Time(3*simtime.Millisecond), func() { got = append(got, "g@3ms") })
+
+	end := g.Run(simtime.Never)
+	want := []string{"s0@1ms", "s1@2ms", "g@3ms"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	if end != simtime.Time(3*simtime.Millisecond) {
+		t.Fatalf("end = %v, want 3ms", end)
+	}
+	if g.Processed() != 3 {
+		t.Fatalf("Processed = %d, want 3", g.Processed())
+	}
+}
+
+func TestShardGroupGlobalCapsWindow(t *testing.T) {
+	// A global event inside a shard's lookahead window must run before the
+	// shard events that follow it, even though the shard had earlier work.
+	g := newTestGroup(1, false)
+	var got []string
+	at := func(us int64) simtime.Time { return simtime.Time(simtime.Duration(us) * simtime.Microsecond) }
+	g.Shards[0].At(at(100), func() { got = append(got, "shard@100us") })
+	g.Global.At(at(500), func() { got = append(got, "global@500us") })
+	g.Shards[0].At(at(700), func() { got = append(got, "shard@700us") })
+
+	g.Run(simtime.Never)
+	want := []string{"shard@100us", "global@500us", "shard@700us"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestShardGroupShardsFirstAtGlobalInstant(t *testing.T) {
+	// At a coincident instant the shard event runs in the shard phase,
+	// before the global event — the documented tie-break.
+	g := newTestGroup(1, false)
+	var got []string
+	at := simtime.Time(5 * simtime.Millisecond)
+	g.Global.At(at, func() { got = append(got, "global") })
+	g.Shards[0].At(at, func() { got = append(got, "shard") })
+
+	g.Run(simtime.Never)
+	want := []string{"shard", "global"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestShardGroupStageMergeOrder(t *testing.T) {
+	// Staged events landing at one instant from stagings at one instant are
+	// injected at the barrier ordered by (src, staging order), regardless of
+	// the order shards staged them in; firing time dominates everything.
+	g := newTestGroup(3, false)
+	var got []string
+	at := func(us int64) simtime.Time { return simtime.Time(simtime.Duration(us) * simtime.Microsecond) }
+
+	// Everything lands on shard 1 so the insertion (Seq) order is the
+	// observable order. Both stagers act at the same instant (10us), so the
+	// scheduling-time rank ties and the lower source shard must insert
+	// first; shard 2 staging first in wall order must not matter.
+	g.Shards[2].At(at(10), func() {
+		g.Stage(2, 1, at(5000), 0, func() { got = append(got, "src2@5ms") })
+		g.Stage(2, 1, at(2000), 0, func() { got = append(got, "src2@2ms") })
+	})
+	g.Shards[0].At(at(10), func() {
+		g.Stage(0, 1, at(5000), 0, func() { got = append(got, "src0@5ms-a") })
+		g.Stage(0, 1, at(5000), 0, func() { got = append(got, "src0@5ms-b") })
+		g.Stage(0, GlobalShard, at(9000), 0, func() { got = append(got, "src0@9ms-global") })
+	})
+
+	g.Run(simtime.Never)
+	want := []string{"src2@2ms", "src0@5ms-a", "src0@5ms-b", "src2@5ms", "src0@9ms-global"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestShardGroupStageSchedulingTimeDominates(t *testing.T) {
+	// Two stagings for the same firing instant from different shard clocks:
+	// the earlier staging wins, whatever the source index — exactly the
+	// order one sequential engine's insertion sequence would have produced.
+	// A destination-local event pushed between the two staging instants
+	// slots between them for the same reason.
+	g := newTestGroup(3, false)
+	var got []string
+	at := func(us int64) simtime.Time { return simtime.Time(simtime.Duration(us) * simtime.Microsecond) }
+
+	land := at(5000)
+	g.Shards[2].At(at(10), func() {
+		g.Stage(2, 1, land, 0, func() { got = append(got, "staged-by-2@10us") })
+	})
+	g.Shards[1].At(at(20), func() {
+		g.Shards[1].At(land, func() { got = append(got, "local@20us") })
+	})
+	g.Shards[0].At(at(30), func() {
+		g.Stage(0, 1, land, 0, func() { got = append(got, "staged-by-0@30us") })
+	})
+
+	g.Run(simtime.Never)
+	want := []string{"staged-by-2@10us", "local@20us", "staged-by-0@30us"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestShardGroupCoincidentInstantInterleavesBySchedulingTime(t *testing.T) {
+	// At an instant shared by global and shard events, execution follows
+	// the scheduling time of each event — the sequential engine's insertion
+	// order — not a blanket shards-first rule: a tick armed long ago beats
+	// a recently scheduled shard event, and an old shard timer beats a
+	// recently armed global one.
+	g := newTestGroup(1, false)
+	var got []string
+	at := func(ms int64) simtime.Time { return simtime.Time(simtime.Duration(ms) * simtime.Millisecond) }
+
+	g.Global.At(at(10), func() { got = append(got, "global-armed@0") })
+	g.Shards[0].At(at(20), func() { got = append(got, "shard-armed@0") })
+	g.Shards[0].At(at(2), func() {
+		g.Shards[0].At(at(10), func() { got = append(got, "shard-armed@2ms") })
+	})
+	g.Global.At(at(5), func() {
+		g.Global.At(at(20), func() { got = append(got, "global-armed@5ms") })
+	})
+
+	g.Run(simtime.Never)
+	want := []string{"global-armed@0", "shard-armed@2ms", "shard-armed@0", "global-armed@5ms"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestShardGroupHorizonAdvancesClocks(t *testing.T) {
+	g := newTestGroup(2, false)
+	horizon := simtime.Time(10 * simtime.Millisecond)
+	g.Shards[0].At(simtime.Time(20*simtime.Millisecond), func() { t.Fatal("ran past horizon") })
+
+	if end := g.Run(horizon); end != horizon {
+		t.Fatalf("end = %v, want %v", end, horizon)
+	}
+	for i, sh := range g.Shards {
+		if sh.Now() != horizon {
+			t.Fatalf("shard %d clock = %v, want %v", i, sh.Now(), horizon)
+		}
+	}
+	if g.Global.Now() != horizon {
+		t.Fatalf("global clock = %v, want %v", g.Global.Now(), horizon)
+	}
+	if g.Shards[0].Pending() != 1 {
+		t.Fatalf("event past horizon should stay queued")
+	}
+}
+
+func TestShardGroupStopFromGlobal(t *testing.T) {
+	g := newTestGroup(2, false)
+	stopAt := simtime.Time(4 * simtime.Millisecond)
+	g.Global.At(stopAt, func() { g.Global.Stop() })
+	g.Shards[1].At(simtime.Time(50*simtime.Millisecond), func() { t.Fatal("ran after stop") })
+
+	if end := g.Run(simtime.Never); end != stopAt {
+		t.Fatalf("end = %v, want %v", end, stopAt)
+	}
+}
+
+func TestShardGroupParallelMatchesSequential(t *testing.T) {
+	// The same ping-pong workload through both execution modes: each shard
+	// relays a token onward through the group; traces must be identical.
+	run := func(parallel bool) []string {
+		g := newTestGroup(4, parallel)
+		var mu sync.Mutex
+		var got []string
+		hops := 0
+		var relay func(shard int, at simtime.Time)
+		relay = func(shard int, at simtime.Time) {
+			g.Shards[shard].At(at, func() {
+				mu.Lock()
+				got = append(got, string(rune('a'+shard)))
+				mu.Unlock()
+				hops++
+				if hops < 12 {
+					g.Stage(shard, (shard+1)%4, at+simtime.Time(2*simtime.Millisecond), 0, func() {
+						relay((shard+1)%4, at+simtime.Time(4*simtime.Millisecond))
+					})
+				}
+			})
+		}
+		relay(0, simtime.Time(simtime.Millisecond))
+		g.Run(simtime.Never)
+		return got
+	}
+	seq, par := run(false), run(true)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel trace %v != sequential %v", par, seq)
+	}
+	if len(seq) != 12 {
+		t.Fatalf("trace length = %d, want 12", len(seq))
+	}
+}
+
+func TestNewShardGroupRejectsBadConfig(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero lookahead", func() { NewShardGroup(New(), []*Engine{New()}, 0, false) })
+	mustPanic("nil global", func() { NewShardGroup(nil, []*Engine{New()}, simtime.Millisecond, false) })
+	mustPanic("no shards", func() { NewShardGroup(New(), nil, simtime.Millisecond, false) })
+}

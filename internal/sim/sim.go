@@ -21,6 +21,14 @@ type Engine struct {
 	running bool
 	stopped bool
 
+	// curPushed is the PushedAt of the event currently executing — the
+	// instant its scheduling logically happened. The shard barrier reads it
+	// to carry one more level of causal history across engines: when two
+	// staged events tie on (firing, staging) instants, the sequential
+	// engine would have ordered them by when their staging callbacks were
+	// themselves scheduled.
+	curPushed simtime.Time
+
 	// Processed counts events executed since creation; useful for loop
 	// detection in tests and for reporting.
 	Processed uint64
@@ -40,6 +48,30 @@ func (e *Engine) Now() simtime.Time { return e.now }
 // Pending returns the number of scheduled events not yet fired.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
+// NextAt returns the firing instant of the earliest pending event, and
+// whether one exists. The window scheduler uses it to compute conservative
+// horizons without disturbing the queue.
+func (e *Engine) NextAt() (simtime.Time, bool) {
+	if ev := e.queue.Peek(); ev != nil {
+		return ev.At, true
+	}
+	return 0, false
+}
+
+// AdvanceTo moves the clock forward to t without running anything; instants
+// not after the current time are ignored. Run stops advancing when its
+// queue drains, so a coordinator driving several engines through shared
+// windows uses this to keep the clocks aligned at each window edge.
+func (e *Engine) AdvanceTo(t simtime.Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Interrupted reports whether the most recent Run returned because Stop
+// was called (as opposed to draining the queue or reaching the horizon).
+func (e *Engine) Interrupted() bool { return e.stopped }
+
 // Schedule runs fn after delay d. A negative delay is treated as zero
 // (fire as soon as possible, after already-pending events at the current
 // instant). The returned handle can be passed to Cancel.
@@ -47,7 +79,7 @@ func (e *Engine) Schedule(d simtime.Duration, fn func()) *eventq.Event {
 	if d < 0 {
 		d = 0
 	}
-	return e.queue.Push(e.now.Add(d), fn)
+	return e.queue.Push(e.now.Add(d), e.now, fn)
 }
 
 // At schedules fn at the absolute instant t. Instants in the past are
@@ -56,7 +88,19 @@ func (e *Engine) At(t simtime.Time, fn func()) *eventq.Event {
 	if t < e.now {
 		t = e.now
 	}
-	return e.queue.Push(t, fn)
+	return e.queue.Push(t, e.now, fn)
+}
+
+// AtPushed schedules fn at the absolute instant t recording pushedAt — an
+// earlier virtual instant at which the scheduling logically happened — as
+// its tie-break rank. The shard barrier uses it to inject events staged by
+// other engines into the exact slot a sequential push at pushedAt would
+// have occupied.
+func (e *Engine) AtPushed(t, pushedAt simtime.Time, fn func()) *eventq.Event {
+	if t < e.now {
+		t = e.now
+	}
+	return e.queue.Push(t, pushedAt, fn)
 }
 
 // Cancel prevents a scheduled event from firing. It is safe to cancel an
@@ -93,6 +137,7 @@ func (e *Engine) Run(until simtime.Time) simtime.Time {
 		if ev.At > e.now {
 			e.now = ev.At
 		}
+		e.curPushed = ev.PushedAt
 		fn := ev.Fn
 		ev.Fn = nil
 		if fn != nil {
@@ -104,6 +149,27 @@ func (e *Engine) Run(until simtime.Time) simtime.Time {
 		}
 	}
 	return e.now
+}
+
+// step pops and runs the earliest pending event, advancing the clock to
+// its firing instant — one iteration of Run's loop, for a coordinator
+// interleaving several engines at a shared instant. The caller has
+// checked the queue is non-empty and the event is within its horizon.
+func (e *Engine) step() {
+	ev := e.queue.Pop()
+	if ev.At > e.now {
+		e.now = ev.At
+	}
+	e.curPushed = ev.PushedAt
+	fn := ev.Fn
+	ev.Fn = nil
+	if fn != nil {
+		fn()
+	}
+	e.Processed++
+	if e.MaxEvents != 0 && e.Processed > e.MaxEvents {
+		panic(fmt.Sprintf("sim: event budget exceeded (%d events, t=%v)", e.Processed, e.now))
+	}
 }
 
 // RunAll executes events until the queue is empty and returns the final
