@@ -1,6 +1,7 @@
 # Developer/CI entry points. `make ci` is the gate: formatting, vet, build,
 # the full test suite, the race detector over the concurrent campaign
-# engine, the binary smoke tests, a short fuzz pass over the AMPoM
+# engine, the binary smoke tests, the campaign-service smoke (HTTP
+# submit, dedup and store-hit paths), a short fuzz pass over the AMPoM
 # prefetcher, the trace combinators and the scenario spec codec, one
 # bench-balance iteration so policy-dispatch overhead is tracked, and one
 # bench-fabric iteration asserting the 512-, 4096- and 16384-node
@@ -8,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race examples-smoke fuzz-smoke bench bench-campaign bench-scenario bench-balance bench-fabric bench-json
+.PHONY: ci fmt-check vet build test race examples-smoke clusterd-smoke fuzz-smoke bench bench-campaign bench-scenario bench-balance bench-fabric bench-json
 
-ci: fmt-check vet build test race examples-smoke fuzz-smoke bench-balance bench-fabric
+ci: fmt-check vet build test race examples-smoke clusterd-smoke fuzz-smoke bench-balance bench-fabric
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -34,6 +35,12 @@ race:
 # configuration through its package's smoke tests.
 examples-smoke:
 	$(GO) test -count=1 ./cmd/... ./examples/...
+
+# The campaign service end to end: submit over HTTP, byte-identical to
+# the batch engine, dedup on resubmission, store hit across a server
+# restart.
+clusterd-smoke:
+	$(GO) test -count=1 -run '^TestClusterdSmoke$$' ./internal/clusterd
 
 # Short fuzz passes over the AMPoM per-fault analysis, the trace
 # combinator algebra, the scenario spec JSON codec and the event queue's

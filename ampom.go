@@ -20,6 +20,7 @@ package ampom
 
 import (
 	"ampom/internal/campaign"
+	"ampom/internal/clusterd"
 	"ampom/internal/core"
 	"ampom/internal/emu"
 	"ampom/internal/fabric"
@@ -28,6 +29,7 @@ import (
 	"ampom/internal/memory"
 	"ampom/internal/migrate"
 	"ampom/internal/netmodel"
+	"ampom/internal/resultstore"
 	"ampom/internal/scenario"
 	"ampom/internal/sched"
 	"ampom/internal/simtime"
@@ -124,6 +126,9 @@ type (
 	CampaignProgress = campaign.Progress
 	// CampaignRunError aggregates the failures of a campaign batch.
 	CampaignRunError = campaign.RunError
+	// CampaignScenarioProgress is one per-policy progress sample of an
+	// executing scenario job (CampaignOptions.OnScenarioProgress).
+	CampaignScenarioProgress = campaign.ScenarioProgress
 )
 
 // NewCampaignEngine returns a parallel experiment engine. Per-job seeds are
@@ -135,6 +140,53 @@ func NewCampaignEngine(opts CampaignOptions) *CampaignEngine { return campaign.N
 func DeriveJobSeed(base uint64, fingerprint string) uint64 {
 	return campaign.DeriveSeed(base, fingerprint)
 }
+
+// Result-store aliases: the persistent content-addressed cache behind the
+// campaign engine (CampaignOptions.Store), the batch CLIs (-store) and
+// the ampom-clusterd service.
+type (
+	// ResultStore maps campaign job fingerprints to report bytes on disk,
+	// with atomic writes and per-cell integrity checks.
+	ResultStore = resultstore.Store
+	// ResultStoreStats counts a store's hits, misses, corruptions and
+	// traffic.
+	ResultStoreStats = resultstore.Stats
+)
+
+// OpenResultStore returns a store rooted at dir, creating it if needed.
+func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+
+// ResultStoreKey maps a job fingerprint to its content-addressed cell
+// key — the job handle of the ampom-clusterd HTTP API.
+func ResultStoreKey(fingerprint string) string { return resultstore.Key(fingerprint) }
+
+// Campaign-service aliases: the long-lived HTTP daemon (ampom-clusterd)
+// and its client (`ampom-cluster -server`).
+type (
+	// ClusterServer is the campaign service: submit specs, stream
+	// progress, fetch byte-identical reports from the shared store.
+	ClusterServer = clusterd.Server
+	// ClusterServerConfig configures a ClusterServer.
+	ClusterServerConfig = clusterd.Config
+	// ClusterClient speaks the service's HTTP API.
+	ClusterClient = clusterd.Client
+	// ClusterJobStatus is one job's wire state (key, status, cached).
+	ClusterJobStatus = clusterd.JobStatus
+	// ClusterEvent is one line of a job's NDJSON event stream.
+	ClusterEvent = clusterd.Event
+	// ClusterDiffRequest asks the service to compare two completed jobs.
+	ClusterDiffRequest = clusterd.DiffRequest
+	// ClusterDiffResponse reports a server-side comparison.
+	ClusterDiffResponse = clusterd.DiffResponse
+	// ClusterStats is the service's counter snapshot (GET /v1/stats).
+	ClusterStats = clusterd.Stats
+)
+
+// NewClusterServer returns a campaign service for the configuration.
+func NewClusterServer(cfg ClusterServerConfig) (*ClusterServer, error) { return clusterd.New(cfg) }
+
+// NewClusterClient returns a client for the service at baseURL.
+func NewClusterClient(baseURL string) *ClusterClient { return clusterd.NewClient(baseURL) }
 
 // NewPrefetcher returns an AMPoM engine for an address space of totalPages
 // pages. A zero PrefetcherConfig takes the paper's defaults (l=20, dmax=4).

@@ -19,6 +19,8 @@
 //	ampom-cluster -policies AMPoM,mem-usher                # restrict the policy set
 //	ampom-cluster -spec farm.json -o report.json           # persist the report
 //	ampom-cluster -scenario web-churn -dump-spec web.json  # write the spec out
+//	ampom-cluster -store ./results         # persist reports; identical re-runs read from disk
+//	ampom-cluster -server http://host:8091 -scenario hpc-farm -o r.json  # run via ampom-clusterd, same bytes
 //	ampom-cluster -diff a.json b.json      # compare saved reports (exit 1 on divergence)
 //	ampom-cluster -diff -diff-eps 0.01 a.json b.json       # floats gate at 1% relative
 //	ampom-cluster -diff -diff-eps mean_slowdown=0.02 -summary a.json b.json
@@ -30,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -57,6 +60,9 @@ func main() {
 	nodes := flag.Int("nodes", 0, "override the preset's node count")
 	procs := flag.Int("procs", 0, "override the preset's process count")
 	shards := flag.Int("shards", 1, "event-engine shards per scenario run (two-tier fabrics; clamped to the rack count; reports are byte-identical at any value)")
+	storeDir := flag.String("store", "", "persistent result store directory: reports land there on completion and identical re-runs are served from disk")
+	server := flag.String("server", "", "submit to a running ampom-clusterd at this URL instead of simulating locally (same flags, same output bytes)")
+	apiKey := flag.String("api-key", "", "tenant API key for -server submissions")
 	cf := cli.AddCampaignFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -154,22 +160,48 @@ func main() {
 		return
 	}
 
-	eng := ampom.NewCampaignEngine(ampom.CampaignOptions{Workers: cf.Workers(), BaseSeed: cf.Seed})
 	if *shards < 1 {
 		cli.Usage("-shards %d: want a positive shard count", *shards)
 	}
-	batch := make([]ampom.ScenarioJob, len(specs))
-	for i, s := range specs {
-		batch[i] = ampom.ScenarioJob{Spec: s, Shards: *shards}
-	}
-	// A partial failure still prints every healthy report; the aggregated
-	// failures go to stderr and the exit code reports them (the
-	// ampom-bench convention).
-	reports, err := eng.RunScenarios(batch)
-	exitCode := cli.CodeOK
-	if err != nil {
-		cli.Errorf("%v", err)
-		exitCode = cli.CodeFail
+
+	// An interrupt (SIGINT/SIGTERM) drains gracefully in both modes: local
+	// batches stop dispatching new scenarios while in-flight runs finish;
+	// remote waits abort and report the jobs still pending server-side.
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+
+	var (
+		reports  []*ampom.ScenarioReport
+		exitCode = cli.CodeOK
+	)
+	if *server != "" {
+		if *storeDir != "" {
+			cli.Usage("-store applies to local runs; the server maintains its own store")
+		}
+		reports, exitCode = runRemote(ctx, *server, *apiKey, specs, *shards)
+	} else {
+		opts := ampom.CampaignOptions{Workers: cf.Workers(), BaseSeed: cf.Seed}
+		if *storeDir != "" {
+			store, err := ampom.OpenResultStore(*storeDir)
+			if err != nil {
+				cli.Fail("%v", err)
+			}
+			opts.Store = store
+		}
+		eng := ampom.NewCampaignEngine(opts)
+		batch := make([]ampom.ScenarioJob, len(specs))
+		for i, s := range specs {
+			batch[i] = ampom.ScenarioJob{Spec: s, Shards: *shards}
+		}
+		// A partial failure still prints every healthy report; the
+		// aggregated failures go to stderr and the exit code reports them
+		// (the ampom-bench convention).
+		var err error
+		reports, err = eng.RunScenariosCtx(ctx, batch)
+		if err != nil {
+			cli.Errorf("%v", err)
+			exitCode = cli.CodeFail
+		}
 	}
 	printed := false
 	for _, r := range reports {
@@ -189,6 +221,49 @@ func main() {
 		}
 	}
 	cli.Exit(exitCode)
+}
+
+// runRemote is the -server client mode: each spec is submitted to the
+// campaign service, waited on, and its stored report fetched — the same
+// bytes a local run renders, since both sides are the one deterministic
+// engine. Failures degrade per spec, like local partial failures.
+func runRemote(ctx context.Context, url, apiKey string, specs []ampom.ScenarioSpec, shards int) ([]*ampom.ScenarioReport, int) {
+	c := ampom.NewClusterClient(url)
+	c.APIKey = apiKey
+	reports := make([]*ampom.ScenarioReport, len(specs))
+	exitCode := cli.CodeOK
+	for i, spec := range specs {
+		st, err := c.Submit(ctx, spec, shards)
+		if err != nil {
+			cli.Errorf("%s: %v", spec.Name, err)
+			exitCode = cli.CodeFail
+			continue
+		}
+		if st, err = c.Wait(ctx, st.Key); err != nil {
+			cli.Errorf("%s: %v", spec.Name, err)
+			exitCode = cli.CodeFail
+			continue
+		}
+		if st.Status != "done" {
+			cli.Errorf("%s: job %s %s: %s", spec.Name, st.Key, st.Status, st.Error)
+			exitCode = cli.CodeFail
+			continue
+		}
+		data, err := c.Result(ctx, st.Key, "json")
+		if err != nil {
+			cli.Errorf("%s: %v", spec.Name, err)
+			exitCode = cli.CodeFail
+			continue
+		}
+		reps, err := ampom.DecodeScenarioReports(data)
+		if err != nil || len(reps) != 1 {
+			cli.Errorf("%s: decoding server report: %v", spec.Name, err)
+			exitCode = cli.CodeFail
+			continue
+		}
+		reports[i] = reps[0]
+	}
+	return reports, exitCode
 }
 
 // parseDiffEps parses the -diff-eps flag: either one bare epsilon applied

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -313,6 +315,98 @@ func TestDiffTolerance(t *testing.T) {
 	}
 	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "-diff", "-diff-eps", "bogus", a, b); !strings.Contains(stderr, "not a non-negative epsilon") {
 		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
+// TestServerClientMode locks the -server mode: the binary submits to a
+// running campaign service, waits, and writes the same bytes — stdout and
+// -o file alike — as a local run of the identical spec; a re-run is
+// served without re-simulating.
+func TestServerClientMode(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ampom.OpenResultStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ampom.NewClusterServer(ampom.ClusterServerConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	specArgs := []string{"-scenario", "web-churn", "-nodes", "4", "-procs", "8"}
+	local := filepath.Join(dir, "local.json")
+	remote := filepath.Join(dir, "remote.json")
+	localOut := clitest.Run(t, append(append([]string{}, specArgs...), "-o", local)...)
+	remoteOut := clitest.Run(t, append(append([]string{}, specArgs...),
+		"-server", hs.URL, "-api-key", "smoke", "-o", remote)...)
+	if localOut != remoteOut {
+		t.Fatalf("-server rendered different stdout:\n%s\n---\n%s", localOut, remoteOut)
+	}
+	lb, err := os.ReadFile(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lb) != string(rb) {
+		t.Fatal("-server wrote different report bytes than the local run")
+	}
+
+	// A second client run of the same spec dedupes server-side: the
+	// service still has executed exactly one simulation.
+	clitest.Run(t, append(append([]string{}, specArgs...), "-server", hs.URL)...)
+	stats, err := ampom.NewClusterClient(hs.URL).ServerStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 1 {
+		t.Fatalf("service executed %d simulations for two client runs, want 1", stats.Executed)
+	}
+
+	// -store is a local-mode flag; combining it with -server is caught
+	// before any work.
+	if _, stderr := clitest.RunExpect(t, cli.CodeUsage,
+		"-server", hs.URL, "-store", dir, "-scenario", "web-churn"); !strings.Contains(stderr, "-store") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
+// TestBatchStoreFlag locks the -store flag: reports persist to the
+// content-addressed store, an identical re-run is served from disk, and
+// the output bytes are unchanged either way.
+func TestBatchStoreFlag(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	args := []string{"-scenario", "web-churn", "-nodes", "4", "-procs", "8", "-store", storeDir}
+	out1 := clitest.Run(t, append(append([]string{}, args...), "-o", filepath.Join(dir, "a.json"))...)
+	out2 := clitest.Run(t, append(append([]string{}, args...), "-o", filepath.Join(dir, "b.json"))...)
+	if out1 != out2 {
+		t.Fatal("store-served re-run rendered different output")
+	}
+	a, err := os.ReadFile(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "b.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("store-served re-run wrote different bytes")
+	}
+	var cells int
+	filepath.Walk(storeDir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".rst") {
+			cells++
+		}
+		return nil
+	})
+	if cells != 1 {
+		t.Fatalf("store holds %d cells, want 1", cells)
 	}
 }
 

@@ -13,6 +13,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"ampom/internal/hpcc"
 	"ampom/internal/migrate"
 	"ampom/internal/netmodel"
+	"ampom/internal/resultstore"
 	"ampom/internal/scenario"
 )
 
@@ -165,6 +167,19 @@ type Options struct {
 	// OnProgress, when set, is called after every job of a RunAll batch
 	// completes. Calls are serialised; the callback must not block long.
 	OnProgress func(Progress)
+	// OnScenarioProgress, when set, receives a sample after each policy of
+	// an executing scenario completes (cache and store hits produce no
+	// samples — nothing runs). Calls arrive from the executing goroutine
+	// and must not block long. This is the hook ampom-clusterd streams to
+	// clients.
+	OnScenarioProgress func(ScenarioProgress)
+	// Store, when set, backs the in-memory scenario cache with a
+	// persistent content-addressed result store: RunScenario serves a
+	// fingerprint whose report bytes are already on disk without
+	// simulating, and persists every newly computed report on success.
+	// Failed runs are never persisted — a store cell is proof the
+	// fingerprint once ran to completion.
+	Store *resultstore.Store
 }
 
 // Engine executes campaign jobs through a worker pool and a single-flight
@@ -217,9 +232,17 @@ type fcell[T any] struct {
 
 // do returns the memoised outcome for key, running compute exactly once
 // across concurrent callers. executed reports whether this call did the
-// computing. If compute panics, the cell is poisoned with poison(recovered)
-// — so the key fails fast forever after — and the panic re-raised.
-func (f *flight[T]) do(key string, poison func(r any) error, compute func() (T, error)) (val T, err error, executed bool) {
+// computing.
+//
+// Only success is cached. Callers concurrent with a failing compute share
+// its error (they asked for the in-flight run and that run failed), but
+// the cell is dropped before they are released, so any later request
+// re-executes instead of replaying a stale failure — a transient fault
+// (exhausted disk, an interrupted run) never poisons the fingerprint for
+// the engine's lifetime. A panicking compute is handled the same way:
+// waiters get wrapPanic(recovered) as their error, the cell is dropped,
+// and the panic is re-raised in the computing goroutine.
+func (f *flight[T]) do(key string, wrapPanic func(r any) error, compute func() (T, error)) (val T, err error, executed bool) {
 	f.mu.Lock()
 	if f.cells == nil {
 		f.cells = make(map[string]*fcell[T])
@@ -234,16 +257,31 @@ func (f *flight[T]) do(key string, poison func(r any) error, compute func() (T, 
 	f.cells[key] = c
 	f.mu.Unlock()
 
+	// Drop failed cells before releasing waiters, so a retry after the
+	// error re-executes. The identity check guards against deleting a
+	// successor cell some future requester installed (impossible today —
+	// nothing replaces a cell before done is closed — but cheap).
+	drop := func() {
+		f.mu.Lock()
+		if f.cells[key] == c {
+			delete(f.cells, key)
+		}
+		f.mu.Unlock()
+	}
 	// Always release waiters, even if compute panics underneath us and a
 	// caller up the stack recovers.
 	defer close(c.done)
 	defer func() {
 		if r := recover(); r != nil {
-			c.err = poison(r)
+			c.err = wrapPanic(r)
+			drop()
 			panic(r)
 		}
 	}()
 	c.val, c.err = compute()
+	if c.err != nil {
+		drop()
+	}
 	return c.val, c.err, true
 }
 
@@ -328,6 +366,15 @@ func (e *Engine) execute(j Job) (*migrate.Result, error) {
 // waits for all of them. Both job batches (RunAll) and scenario batches
 // (RunScenarios) go through here, so they share one pool bound.
 func (e *Engine) fanOut(n int, run func(i int)) {
+	e.fanOutCtx(context.Background(), n, run, nil)
+}
+
+// fanOutCtx is fanOut under cooperative cancellation: once ctx is done no
+// further index is dispatched — tasks already running finish normally (a
+// simulation is never torn mid-run) and every undispatched index is
+// reported to skip instead. This is the graceful-drain primitive the
+// SIGINT/SIGTERM handling of the batch CLIs and the daemon build on.
+func (e *Engine) fanOutCtx(ctx context.Context, n int, run func(i int), skip func(i int)) {
 	workers := e.workers
 	if workers > n {
 		workers = n
@@ -346,8 +393,18 @@ func (e *Engine) fanOut(n int, run func(i int)) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case <-ctx.Done():
+			if skip != nil {
+				for j := i; j < n; j++ {
+					skip(j)
+				}
+			}
+			break dispatch
+		case idx <- i:
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -39,17 +40,53 @@ func (e *Engine) SeedForScenario(j ScenarioJob) uint64 {
 	return DeriveSeed(e.opts.BaseSeed, j.Fingerprint())
 }
 
+// ScenarioProgress is one progress sample of an executing scenario job:
+// the policy whose simulation just finished and how far through the job's
+// policy set the run is. Samples reach Options.OnScenarioProgress.
+type ScenarioProgress struct {
+	// Job is the scenario being executed.
+	Job ScenarioJob
+	// Fingerprint is the job's cache/store key, so multiplexing consumers
+	// (the daemon's event streams) can route samples without recomputing
+	// it.
+	Fingerprint string
+	// Policy is the registry name of the policy that just finished; Done
+	// of Total counts finished policy simulations.
+	Policy      string
+	Done, Total int
+}
+
 // RunScenario executes one scenario, memoised: concurrent calls with the
-// same fingerprint run the simulation once and share the report.
+// same fingerprint run the simulation once and share the report. With a
+// result store configured, a fingerprint whose report bytes are already
+// on disk is decoded instead of simulated, and every newly computed
+// report is persisted on success — failed runs never reach the store, and
+// (like every flight error) never stay in the in-memory cache either, so
+// retries re-execute.
 func (e *Engine) RunScenario(job ScenarioJob) (*scenario.Report, error) {
 	e.statMu.Lock()
 	e.requests++
 	e.statMu.Unlock()
 
-	rep, err, executed := e.scenarios.do(job.Fingerprint(),
+	fp := job.Fingerprint()
+	rep, err, executed := e.scenarios.do(fp,
 		func(r any) error { return fmt.Errorf("campaign: %v: panic during scenario: %v", job, r) },
 		func() (*scenario.Report, error) {
-			return scenario.RunShards(job.Spec, e.SeedForScenario(job), job.Shards)
+			if rep, ok := e.storeLookup(fp); ok {
+				return rep, nil
+			}
+			var hook func(scenario.PolicyProgress)
+			if cb := e.opts.OnScenarioProgress; cb != nil {
+				hook = func(p scenario.PolicyProgress) {
+					cb(ScenarioProgress{Job: job, Fingerprint: fp, Policy: p.Policy, Done: p.Done, Total: p.Total})
+				}
+			}
+			rep, err := scenario.RunShardsHook(job.Spec, e.SeedForScenario(job), job.Shards, hook)
+			if err != nil {
+				return nil, err
+			}
+			e.storePersist(fp, rep)
+			return rep, nil
 		})
 	if executed {
 		e.statMu.Lock()
@@ -57,6 +94,42 @@ func (e *Engine) RunScenario(job ScenarioJob) (*scenario.Report, error) {
 		e.statMu.Unlock()
 	}
 	return rep, err
+}
+
+// storeLookup serves a job from the persistent result store, if one is
+// configured and holds a decodable cell for the fingerprint. Corrupt or
+// undecodable cells degrade to a miss — the caller recomputes, and the
+// following storePersist heals the cell.
+func (e *Engine) storeLookup(fp string) (*scenario.Report, bool) {
+	st := e.opts.Store
+	if st == nil {
+		return nil, false
+	}
+	data, ok, _ := st.Get(fp)
+	if !ok {
+		return nil, false
+	}
+	reps, err := scenario.DecodeReports(data)
+	if err != nil || len(reps) != 1 {
+		return nil, false
+	}
+	return reps[0], true
+}
+
+// storePersist writes a freshly computed report to the result store. A
+// store that cannot be written degrades the engine to compute-only — the
+// report itself is still healthy, so persistence failures are deliberately
+// not surfaced as job failures.
+func (e *Engine) storePersist(fp string, rep *scenario.Report) {
+	st := e.opts.Store
+	if st == nil {
+		return
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return
+	}
+	_ = st.Put(fp, data)
 }
 
 // ScenarioError ties a failed scenario job to its error.
@@ -98,10 +171,21 @@ func (e *ScenarioRunError) Error() string {
 // a *ScenarioRunError (sorted by fingerprint for determinism); the
 // corresponding report slots are nil and every other scenario still runs.
 func (e *Engine) RunScenarios(jobs []ScenarioJob) ([]*scenario.Report, error) {
+	return e.RunScenariosCtx(context.Background(), jobs)
+}
+
+// RunScenariosCtx is RunScenarios under cooperative cancellation: once
+// ctx is done, no further scenario is dispatched — runs already in flight
+// finish and return their reports, and every skipped job fails with ctx's
+// error in the aggregate. This is the graceful-drain path the batch CLI
+// wires its SIGINT/SIGTERM context into.
+func (e *Engine) RunScenariosCtx(ctx context.Context, jobs []ScenarioJob) ([]*scenario.Report, error) {
 	reports := make([]*scenario.Report, len(jobs))
 	errs := make([]error, len(jobs))
-	e.fanOut(len(jobs), func(i int) {
+	e.fanOutCtx(ctx, len(jobs), func(i int) {
 		reports[i], errs[i] = e.RunScenario(jobs[i])
+	}, func(i int) {
+		errs[i] = fmt.Errorf("campaign: skipped: %w", ctx.Err())
 	})
 
 	var failures []ScenarioError

@@ -1,0 +1,40 @@
+package cli
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestSignalContextCancelsOnSigterm(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before any signal")
+	default:
+	}
+	// While NotifyContext is registered the signal is caught, not fatal.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the context")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+}
+
+func TestSignalContextStopDetaches(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}

@@ -1,0 +1,231 @@
+package clusterd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ampom/internal/scenario"
+)
+
+// Client speaks the service's HTTP API — the engine behind the batch
+// CLI's -server mode. The zero HTTPClient uses http.DefaultClient.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8091".
+	BaseURL string
+	// APIKey, when set, identifies the tenant (the X-API-Key header).
+	APIKey string
+	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces Wait's status polling; 0 means 100ms.
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses surface the server's error body.
+func (c *Client) do(req *http.Request, out any) error {
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("clusterd: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("clusterd: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("clusterd: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("clusterd: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("clusterd: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Submit posts a spec for execution and returns the job's handle and
+// admission status. Identical specs return the same key; a spec whose
+// report the service already holds returns status "done" immediately.
+func (c *Client) Submit(ctx context.Context, spec scenario.Spec, shards int) (JobStatus, error) {
+	data, err := scenario.EncodeSpec(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	url := c.BaseURL + "/v1/jobs"
+	if shards > 1 {
+		url += "?shards=" + strconv.Itoa(shards)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("clusterd: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var st JobStatus
+	if err := c.do(req, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status fetches one job's current state.
+func (c *Client) Status(ctx context.Context, key string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+key, nil)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("clusterd: %w", err)
+	}
+	var st JobStatus
+	if err := c.do(req, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Wait polls until the job reaches a terminal state (returned even when
+// it is StatusFailed — the caller reads .Error) or ctx ends.
+func (c *Client) Wait(ctx context.Context, key string) (JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, key)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("clusterd: waiting for %s: %w", key, ctx.Err())
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Result fetches a completed job's report. format is "json" (the stored
+// bytes verbatim, identical to the batch CLI's -o output) or "csv".
+func (c *Client) Result(ctx context.Context, key, format string) ([]byte, error) {
+	url := c.BaseURL + "/v1/jobs/" + key + "/result"
+	if format != "" && format != "json" {
+		url += "?format=" + format
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("clusterd: %w", err)
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("clusterd: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("clusterd: reading result: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("clusterd: %s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("clusterd: %s", resp.Status)
+	}
+	return body, nil
+}
+
+// Events streams a job's NDJSON event feed, invoking fn per event until
+// the stream ends (job terminal) or ctx is cancelled.
+func (c *Client) Events(ctx context.Context, key string, fn func(Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+key+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("clusterd: %w", err)
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("clusterd: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		var e errorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("clusterd: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("clusterd: %s", resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if ctx.Err() != nil {
+				return fmt.Errorf("clusterd: event stream: %w", ctx.Err())
+			}
+			return fmt.Errorf("clusterd: event stream: %w", err)
+		}
+		fn(ev)
+	}
+}
+
+// Diff compares two completed jobs server-side.
+func (c *Client) Diff(ctx context.Context, dr DiffRequest) (DiffResponse, error) {
+	data, err := json.Marshal(dr)
+	if err != nil {
+		return DiffResponse{}, fmt.Errorf("clusterd: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/diff", bytes.NewReader(data))
+	if err != nil {
+		return DiffResponse{}, fmt.Errorf("clusterd: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out DiffResponse
+	if err := c.do(req, &out); err != nil {
+		return DiffResponse{}, err
+	}
+	return out, nil
+}
+
+// ServerStats fetches the service's counters.
+func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return Stats{}, fmt.Errorf("clusterd: %w", err)
+	}
+	var out Stats
+	if err := c.do(req, &out); err != nil {
+		return Stats{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package clusterd
+
+import "ampom/internal/resultstore"
+
+// The job lifecycle states a submission moves through. A job enters the
+// registry as StatusQueued (or directly as StatusDone when the result
+// store already holds its report), becomes StatusRunning when a worker
+// picks it up, and terminates as StatusDone or StatusFailed. A failed
+// job's status stays observable, but a resubmission of the same spec
+// replaces it and re-executes — like the engine's in-memory cache and
+// the result store, the daemon never treats an error as a cached result.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// JobStatus is the wire shape of one job's state — the response of
+// POST /v1/jobs and GET /v1/jobs/{key}.
+type JobStatus struct {
+	// Key is the job's content-addressed handle: the result-store cell key
+	// of the submitted spec's fingerprint. Identical submissions share it.
+	Key string `json:"key"`
+	// Scenario is the submitted spec's name, echoed for readability.
+	Scenario string `json:"scenario,omitempty"`
+	// Status is one of the Status* states.
+	Status string `json:"status"`
+	// Cached reports that the result was served from the persistent store
+	// without simulating — either at submit time or after a daemon restart.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the failure message of a StatusFailed job.
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the status is an end state.
+func (s JobStatus) Terminal() bool { return s.Status == StatusDone || s.Status == StatusFailed }
+
+// Event is one line of a job's NDJSON event stream (GET
+// /v1/jobs/{key}/events): either a lifecycle transition ("status") or a
+// per-policy progress sample ("progress") forwarded from the campaign
+// engine.
+type Event struct {
+	Type string `json:"type"` // "status" or "progress"
+	// Status fields ("status" events).
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Progress fields ("progress" events): Policy just finished, Done of
+	// Total policy simulations complete.
+	Policy string `json:"policy,omitempty"`
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+}
+
+// DiffRequest is the body of POST /v1/diff: two job handles to compare,
+// with the same tolerance knobs as `ampom-cluster -diff`.
+type DiffRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Eps maps a float column to the relative epsilon within which it still
+	// gates as equal; the "" key is the default for unlisted float columns.
+	// Counts always compare exactly.
+	Eps map[string]float64 `json:"eps,omitempty"`
+	// Summary collapses the output to one line per diverging column.
+	Summary bool `json:"summary,omitempty"`
+}
+
+// DiffResponse reports a comparison: Equal means no divergence under the
+// requested tolerances.
+type DiffResponse struct {
+	Equal       bool     `json:"equal"`
+	Divergences []string `json:"divergences,omitempty"`
+}
+
+// Stats is the response of GET /v1/stats: the result store's counters
+// (hits observable by clients — the resubmission acceptance criterion),
+// the registry census by status, and the engine's request/execution
+// counts.
+type Stats struct {
+	Store    resultstore.Stats `json:"store"`
+	Jobs     map[string]int    `json:"jobs"`
+	Executed int               `json:"executed"`
+	Requests int               `json:"requests"`
+	Draining bool              `json:"draining,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}

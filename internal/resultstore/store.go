@@ -1,0 +1,227 @@
+// Package resultstore is the persistent content-addressed result store
+// behind the campaign engine and the ampom-clusterd service: it maps a
+// campaign job fingerprint to the report bytes the job rendered, on disk,
+// so a re-run of an identical spec — in another process, on another day —
+// is a disk read instead of a simulation.
+//
+// The store is content-addressed twice over. The cell a result lives in is
+// Key(fingerprint), the SHA-256 of the job's canonical fingerprint — the
+// same identity the campaign engine's in-memory single-flight cache keys
+// by, so the two caches can never disagree about which runs are "the same
+// run". And every cell carries the SHA-256 of its own payload in a header
+// line, verified on every read, so a truncated or bit-rotted file is
+// detected (and evicted) instead of being served as a report.
+//
+// Writes are atomic: the payload lands in a temp file in the destination
+// directory, is fsynced, and is renamed into place, so concurrent writers
+// of one cell and readers racing a writer both observe either the old
+// complete cell or the new complete cell — never a torn one. Only
+// successful runs are ever written; a failed job has no bytes to store,
+// which is what makes a store cell proof that the fingerprint once ran to
+// completion.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// envelopeMagic versions the on-disk cell format. A cell is one header
+// line — magic, payload SHA-256, payload length — followed by the payload
+// bytes verbatim.
+const envelopeMagic = "ampom-result/1"
+
+// Stats counts the store's traffic since Open. All counters only grow.
+type Stats struct {
+	// Hits and Misses count Get/GetKey outcomes; Corrupt counts reads
+	// that failed the integrity check (each also counts as a miss after
+	// the cell is evicted).
+	Hits, Misses, Corrupt int64
+	// Puts counts completed writes.
+	Puts int64
+	// BytesRead and BytesWritten total the payload bytes served and
+	// persisted.
+	BytesRead, BytesWritten int64
+}
+
+// Store is a directory of content-addressed result cells. It is safe for
+// concurrent use by any number of goroutines and — writes being atomic
+// renames of complete, checksummed cells — by cooperating processes
+// sharing the directory (a batch CLI alongside a daemon).
+type Store struct {
+	dir string
+
+	mu sync.Mutex
+	st Stats
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key maps a job fingerprint to its content-addressed cell name: the hex
+// SHA-256 of the fingerprint. The key doubles as the public job handle of
+// ampom-clusterd's HTTP API — stable across processes, URL-safe, and
+// reveals nothing about the spec.
+func Key(fingerprint string) string {
+	h := sha256.Sum256([]byte(fingerprint))
+	return hex.EncodeToString(h[:])
+}
+
+// ValidKey reports whether key has the shape Key produces (64 lowercase
+// hex digits) — the gate HTTP handlers apply to path parameters before
+// touching the filesystem.
+func ValidKey(key string) bool {
+	if len(key) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path places a cell under a two-hex-digit fan-out directory so huge
+// stores never accumulate one enormous flat directory.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".rst")
+}
+
+// Get returns the payload stored for fingerprint. ok is false on a miss.
+// A cell that fails the integrity check is evicted and reported as an
+// error (and a miss): the caller recomputes and the next Put heals the
+// cell.
+func (s *Store) Get(fingerprint string) (payload []byte, ok bool, err error) {
+	return s.GetKey(Key(fingerprint))
+}
+
+// GetKey is Get addressed by the cell key instead of the fingerprint —
+// the form servers use when the handle arrives from a client that never
+// shared the underlying spec.
+func (s *Store) GetKey(key string) (payload []byte, ok bool, err error) {
+	if !ValidKey(key) {
+		return nil, false, fmt.Errorf("resultstore: malformed key %q", key)
+	}
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("resultstore: %w", err)
+	}
+	payload, err = parseEnvelope(data)
+	if err != nil {
+		// Evict the corrupt cell so the next Put rewrites it from scratch.
+		os.Remove(path)
+		s.count(func(st *Stats) { st.Corrupt++; st.Misses++ })
+		return nil, false, fmt.Errorf("resultstore: cell %s: %w", key, err)
+	}
+	s.count(func(st *Stats) { st.Hits++; st.BytesRead += int64(len(payload)) })
+	return payload, true, nil
+}
+
+// Put persists payload as the cell for fingerprint, atomically: the bytes
+// are written to a temp file in the destination directory, fsynced, and
+// renamed into place. Re-putting an existing cell simply replaces it with
+// identical content.
+func (s *Store) Put(fingerprint string, payload []byte) error {
+	key := Key(fingerprint)
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %d\n", envelopeMagic, hex.EncodeToString(sum[:]), len(payload))
+	if _, err := f.WriteString(header); err != nil {
+		return cleanup(err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.count(func(st *Stats) { st.Puts++; st.BytesWritten += int64(len(payload)) })
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// count applies one counter update under the lock.
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.st)
+	s.mu.Unlock()
+}
+
+// parseEnvelope verifies a cell's header against its payload and returns
+// the payload.
+func parseEnvelope(data []byte) ([]byte, error) {
+	nl := strings.IndexByte(string(data[:min(len(data), 256)]), '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("missing envelope header")
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 3 || fields[0] != envelopeMagic {
+		return nil, fmt.Errorf("malformed envelope header")
+	}
+	wantLen, err := strconv.Atoi(fields[2])
+	if err != nil || wantLen < 0 {
+		return nil, fmt.Errorf("malformed envelope length")
+	}
+	payload := data[nl+1:]
+	if len(payload) != wantLen {
+		return nil, fmt.Errorf("payload length %d, envelope promises %d", len(payload), wantLen)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[1] {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return payload, nil
+}

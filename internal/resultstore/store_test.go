@@ -1,0 +1,191 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"version":1,"report":"bytes"}` + "\n")
+	const fp = "scenario|name=x|nodes=8"
+	if _, ok, err := s.Get(fp); ok || err != nil {
+		t.Fatalf("fresh store Get = ok %v err %v, want miss", ok, err)
+	}
+	if err := s.Put(fp, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(fp)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok %v err %v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round trip: got %q want %q", got, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+	if st.BytesRead != int64(len(payload)) || st.BytesWritten != int64(len(payload)) {
+		t.Fatalf("byte counters %+v, want %d each way", st, len(payload))
+	}
+}
+
+func TestKeyIsStableAndValid(t *testing.T) {
+	k1, k2 := Key("scenario|a"), Key("scenario|a")
+	if k1 != k2 {
+		t.Fatal("Key is not deterministic")
+	}
+	if k1 == Key("scenario|b") {
+		t.Fatal("distinct fingerprints share a key")
+	}
+	if !ValidKey(k1) {
+		t.Fatalf("ValidKey rejects its own key %q", k1)
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("g", 64), strings.Repeat("A", 64), k1 + "00"} {
+		if ValidKey(bad) {
+			t.Fatalf("ValidKey accepts %q", bad)
+		}
+	}
+}
+
+func TestGetKeyMalformed(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.GetKey("../../etc/passwd"); ok || err == nil {
+		t.Fatalf("malformed key: ok %v err %v, want rejection", ok, err)
+	}
+}
+
+func TestCorruptCellEvicted(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "scenario|corrupt"
+	if err := s.Put(fp, []byte("precious report bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte behind the store's back.
+	path := s.path(Key(fp))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(fp); ok || err == nil {
+		t.Fatalf("corrupt cell: ok %v err %v, want integrity error", ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt cell was not evicted")
+	}
+	// A miss now (evicted), and a fresh Put heals the cell.
+	if _, ok, _ := s.Get(fp); ok {
+		t.Fatal("evicted cell still hits")
+	}
+	if err := s.Put(fp, []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(fp)
+	if err != nil || !ok || string(got) != "healed" {
+		t.Fatalf("healed cell: %q ok %v err %v", got, ok, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter %d, want 1", st.Corrupt)
+	}
+}
+
+func TestTruncatedCellDetected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "scenario|truncated"
+	if err := s.Put(fp, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path(Key(fp))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(fp); ok || err == nil {
+		t.Fatalf("truncated cell: ok %v err %v, want integrity error", ok, err)
+	}
+}
+
+func TestPutOverwritesAndLeavesNoTempLitter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "scenario|overwrite"
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fp, []byte(fmt.Sprintf("generation %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, err := s.Get(fp)
+	if err != nil || !ok || string(got) != "generation 2" {
+		t.Fatalf("after overwrites: %q ok %v err %v", got, ok, err)
+	}
+	var files []string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if len(files) != 1 {
+		t.Fatalf("store litter: %v, want exactly the one cell", files)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "scenario|race"
+	payload := bytes.Repeat([]byte("deterministic payload "), 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := s.Put(fp, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok, err := s.Get(fp)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok && !bytes.Equal(got, payload) {
+					t.Error("reader observed a torn cell")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ampom/internal/fabric"
+	"ampom/internal/simtime"
+)
+
+// This file locks the property the result store and the campaign service
+// lean on: report encoding is a fixed point of the I/O round trip. A
+// stored artefact decoded and re-encoded is byte-identical, so serving
+// decoded reports (engine store hits, the daemon's CSV endpoint, the
+// -server client mode) can never drift from the bytes the simulation
+// originally rendered.
+
+// randDuration returns a whole-millisecond duration; whole units keep the
+// float seconds/milliseconds wire forms exactly recoverable.
+func randDuration(rng *rand.Rand) simtime.Duration {
+	return simtime.Duration(rng.Int63n(1_000_000_000)) * simtime.Millisecond
+}
+
+// randReport builds a syntactically valid report with adversarial values:
+// multiple policies (registry and custom names), optional tier rows,
+// full-range seeds and large counters.
+func randReport(rng *rand.Rand, idx int) *Report {
+	spec := Spec{
+		Name:            fmt.Sprintf("rt-%d", idx),
+		Nodes:           2 + rng.Intn(63),
+		MeanFootprintMB: 1 + rng.Int63n(512),
+		Skew:            rng.Float64(),
+	}
+	if rng.Intn(2) == 0 {
+		spec.Fabric = FabricSpec{Topology: fabric.KindTwoTier, RackSize: 2 + rng.Intn(6)}
+	}
+	spec = spec.Canonical()
+	rep := &Report{
+		Spec:  spec,
+		Seed:  rng.Uint64(),
+		Procs: 1 + rng.Intn(256),
+	}
+	policies := []string{"no-migration", "AMPoM", "openMosix", fmt.Sprintf("custom-%d", idx)}
+	n := 1 + rng.Intn(len(policies))
+	for _, pol := range policies[:n] {
+		st := SchemeStats{
+			Policy:         pol,
+			Makespan:       randDuration(rng),
+			MeanSlowdown:   rng.Float64() * 100,
+			SlowdownVsBase: rng.Float64() * 10,
+			Migrations:     rng.Intn(10_000),
+			FrozenTotal:    randDuration(rng),
+			ExtraWork:      randDuration(rng),
+			HardFaults:     rng.Int63(),
+			PrefetchPages:  rng.Int63(),
+			MigrationBytes: rng.Int63(),
+			Unfinished:     rng.Intn(64),
+			FinalRTT:       randDuration(rng),
+			Events:         rng.Uint64(),
+		}
+		for tier := 0; tier < rng.Intn(3); tier++ {
+			st.TierUse = append(st.TierUse, fabric.TierStats{
+				Name:        fmt.Sprintf("tier-%d", tier),
+				Links:       1 + rng.Intn(64),
+				CapacityBps: float64(rng.Int63n(1e12)),
+				Bytes:       rng.Int63(),
+			})
+		}
+		rep.Schemes = append(rep.Schemes, st)
+	}
+	return rep
+}
+
+// roundTripOnce decodes a single-report JSON artefact and asserts the
+// decoded report re-encodes to the identical bytes (JSON) and the
+// identical CSV as the original report.
+func roundTripOnce(t *testing.T, label string, rep *Report, data []byte) *Report {
+	t.Helper()
+	decoded, err := DecodeReports(data)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("%s: decoded %d reports, want 1", label, len(decoded))
+	}
+	re, err := decoded[0].JSON()
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatalf("%s: decode→re-encode is not byte-identical:\n%s\n---\n%s", label, data, re)
+	}
+	if got, want := decoded[0].CSV(), rep.CSV(); got != want {
+		t.Fatalf("%s: CSV of decoded report differs:\n%s\n---\n%s", label, got, want)
+	}
+	return decoded[0]
+}
+
+// TestReportRoundTripProperty drives randomized reports through the JSON
+// codec: one decode reaches the encoding's fixed point, and a second
+// round stays there byte for byte.
+func TestReportRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		rep := randReport(rng, i)
+		data, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := roundTripOnce(t, fmt.Sprintf("report %d", i), rep, data)
+		// Idempotence: a second round trip of the decoded form is exact.
+		data2, err := dec.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTripOnce(t, fmt.Sprintf("report %d (second round)", i), dec, data2)
+	}
+}
+
+// TestReportsArrayRoundTrip locks the batch (array) artefact: decode and
+// re-encode of a multi-report document is byte-identical, and the shared
+// CSV document survives the trip.
+func TestReportsArrayRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var reps []*Report
+	for i := 0; i < 5; i++ {
+		reps = append(reps, randReport(rng, 100+i))
+	}
+	data, err := ReportsJSON(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeReports(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(reps) {
+		t.Fatalf("decoded %d reports, want %d", len(decoded), len(reps))
+	}
+	re, err := ReportsJSON(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("array artefact decode→re-encode is not byte-identical")
+	}
+	if got, want := ReportsCSV(decoded), ReportsCSV(reps); got != want {
+		t.Fatal("batch CSV differs after the round trip")
+	}
+}
+
+// TestRealRunRoundTrip anchors the property on a genuine simulation — a
+// small two-tier run whose report carries tier rows — so the generated
+// cases cannot drift from what the engine actually emits.
+func TestRealRunRoundTrip(t *testing.T) {
+	spec := Spec{
+		Name:            "rt-real",
+		Nodes:           8,
+		Procs:           16,
+		MeanCompute:     4 * simtime.Second,
+		MeanFootprintMB: 32,
+		Fabric:          FabricSpec{Topology: fabric.KindTwoTier, RackSize: 4},
+	}.Canonical()
+	rep, err := Run(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tiers int
+	for _, st := range rep.Schemes {
+		tiers += len(st.TierUse)
+	}
+	if tiers == 0 {
+		t.Fatal("two-tier run rendered no tier rows; the round trip would not cover them")
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTripOnce(t, "real run", rep, data)
+}

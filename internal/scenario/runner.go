@@ -843,6 +843,19 @@ func Run(spec Spec, seed uint64) (*Report, error) {
 	return RunShards(spec, seed, 1)
 }
 
+// PolicyProgress is one progress sample of a scenario run: the policy
+// whose simulation just completed and how far through the spec's policy
+// set the run is. The campaign engine forwards these samples to its
+// OnScenarioProgress hook, which is what ampom-clusterd streams to
+// clients as NDJSON.
+type PolicyProgress struct {
+	// Policy is the registry name of the policy that just finished.
+	Policy string
+	// Done counts finished policy simulations; Total is the spec's
+	// canonical policy-set size.
+	Done, Total int
+}
+
 // RunShards is Run with the event engine sharded per rack band across
 // shards conservative-window workers (clamped to the rack count; 1 — or
 // any non-two-tier fabric — is the sequential engine). Sharding is an
@@ -850,6 +863,15 @@ func Run(spec Spec, seed uint64) (*Report, error) {
 // byte-identical Report, so it never participates in fingerprints or
 // seeds.
 func RunShards(spec Spec, seed uint64, shards int) (*Report, error) {
+	return RunShardsHook(spec, seed, shards, nil)
+}
+
+// RunShardsHook is RunShards with an observation hook called after each
+// policy's simulation completes. The hook is purely observational — it
+// never influences the run, so hooked and unhooked runs render
+// byte-identical reports — and is called from the running goroutine, so
+// it must not block for long.
+func RunShardsHook(spec Spec, seed uint64, shards int, hook func(PolicyProgress)) (*Report, error) {
 	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -863,9 +885,12 @@ func RunShards(spec Spec, seed uint64, shards int) (*Report, error) {
 	}
 	scales, tmpl := buildWorkload(spec, seed)
 	rep := &Report{Spec: spec, Seed: seed, Procs: len(tmpl)}
-	for _, pol := range pols {
+	for i, pol := range pols {
 		st := newClusterSimShards(spec, scales, tmpl, pol, seed, shards).run()
 		rep.Schemes = append(rep.Schemes, st)
+		if hook != nil {
+			hook(PolicyProgress{Policy: pol.Name(), Done: i + 1, Total: len(pols)})
+		}
 	}
 	if base := rep.Baseline().MeanSlowdown; base > 0 {
 		for i := range rep.Schemes {
