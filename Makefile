@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race examples-smoke clusterd-smoke fuzz-smoke bench bench-campaign bench-scenario bench-balance bench-fabric bench-json
+.PHONY: ci fmt-check vet build test race examples-smoke clusterd-smoke fuzz-smoke bench bench-campaign bench-scenario bench-balance bench-fabric bench-json profile
 
 ci: fmt-check vet build test race examples-smoke clusterd-smoke fuzz-smoke bench-balance bench-fabric
 
@@ -89,3 +89,13 @@ bench-json:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# profile runs the rack-farm preset (trimmed to the CI policy trio) under
+# the CPU and heap profilers, so a perf investigation starts from
+# `go tool pprof cpu.prof` instead of guesswork. Swap -scenario/-shards to
+# profile other presets or the sharded window machinery.
+profile:
+	$(GO) run ./cmd/ampom-cluster -scenario rack-farm \
+		-policies no-migration,AMPoM,queue-gossip \
+		-cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof and mem.prof; inspect with: $(GO) tool pprof cpu.prof"

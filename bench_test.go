@@ -502,6 +502,17 @@ func BenchmarkFabric16384Shards(b *testing.B) {
 		if i == b.N-1 {
 			qg, _ := rep.Scheme(PolicyQueueGossip)
 			b.ReportMetric(float64(qg.Migrations), "qg_migrations")
+			// The window scheduler's occupancy picture: how many lookahead
+			// windows the run advanced through, what fraction degenerated to
+			// single-threaded global syncs, and the cross-shard traffic. These
+			// bound the achievable parallel speedup independently of core
+			// count, so their trajectory is tracked next to the ns/op.
+			if sh := qg.Sharding; sh != nil && sh.Group.Windows > 0 {
+				g := sh.Group
+				b.ReportMetric(float64(g.Windows), "windows")
+				b.ReportMetric(float64(g.GlobalSyncWindows)/float64(g.Windows), "global_sync_frac")
+				b.ReportMetric(float64(g.StagedEvents), "staged_events")
+			}
 		}
 	}
 }

@@ -115,11 +115,40 @@ func convert(in io.Reader) ([]byte, error) {
 	sort.SliceStable(doc.Benchmarks, func(i, j int) bool {
 		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
 	})
+	addShardSpeedups(doc.Benchmarks)
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// addShardSpeedups derives the shard_speedup metric: for every benchmark
+// named "<Base>Shards" whose sequential sibling "<Base>" is in the log,
+// the sharded record gains sequential-ns/sharded-ns — above 1.0 the
+// sharded engine wins. Derived here rather than in the benchmarks because
+// the two runs are separate benchmark functions; recording the ratio in
+// the artefact makes the parallel-efficiency trajectory diffable per PR.
+func addShardSpeedups(results []result) {
+	seq := make(map[string]float64, len(results))
+	for _, r := range results {
+		seq[r.Name] = r.NsPerOp
+	}
+	for i := range results {
+		r := &results[i]
+		base, ok := strings.CutSuffix(r.Name, "Shards")
+		if !ok || base == "" {
+			continue
+		}
+		ns, ok := seq[base]
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics["shard_speedup"] = ns / r.NsPerOp
+	}
 }
 
 func main() {

@@ -104,3 +104,40 @@ func TestSmokeMalformedLineFails(t *testing.T) {
 		t.Fatalf("unexpected stderr:\n%s", stderr)
 	}
 }
+
+// TestShardSpeedupMetric locks the derived parallel-efficiency metric: a
+// "<Base>Shards" benchmark paired with its sequential sibling gains
+// shard_speedup = sequential-ns / sharded-ns, and nothing else does.
+func TestShardSpeedupMetric(t *testing.T) {
+	log := `BenchmarkFabric16384 	       1	77000000000 ns/op	      2739 qg_migrations
+BenchmarkFabric16384Shards 	       1	38500000000 ns/op	      2739 qg_migrations
+BenchmarkFabric512 	       1	1304924710 ns/op
+PASS
+`
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := clitest.Run(t, "-i", path)
+	var doc struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	byName := map[string]map[string]float64{}
+	for _, b := range doc.Benchmarks {
+		byName[b.Name] = b.Metrics
+	}
+	if got := byName["BenchmarkFabric16384Shards"]["shard_speedup"]; got != 2.0 {
+		t.Fatalf("shard_speedup = %v, want 2.0", got)
+	}
+	for _, name := range []string{"BenchmarkFabric16384", "BenchmarkFabric512"} {
+		if _, has := byName[name]["shard_speedup"]; has {
+			t.Fatalf("%s wrongly carries shard_speedup", name)
+		}
+	}
+}

@@ -418,3 +418,28 @@ func TestSmokeBadOutputExtensionIsUsageError(t *testing.T) {
 		t.Fatalf("unexpected stderr:\n%s", stderr)
 	}
 }
+
+// TestSmokeProfileFlags runs a shrunk preset under both profilers and
+// checks real pprof artefacts land where asked; profiling a -server
+// submission is a usage error (the simulation lives in the remote
+// process).
+func TestSmokeProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	clitest.Run(t, "-scenario", "web-churn", "-nodes", "4", "-procs", "8", "-seed", "1",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+	_, stderr := clitest.RunExpect(t, cli.CodeUsage,
+		"-server", "http://localhost:1", "-cpuprofile", cpu, "-scenario", "web-churn")
+	if !strings.Contains(stderr, "profile local runs") {
+		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}

@@ -51,6 +51,14 @@ type liveView struct {
 	// order — the iteration order candidatesOn's global filter preserved.
 	runnableOn [][]*proc
 
+	// liveOn holds each node's arrived, unfinished residents in ascending
+	// id order — runnableOn plus the frozen in-migrants, which live on
+	// their destination like the live/mem aggregates. The quantum ticks
+	// iterate runnableOn; liveOn serves the per-node scans that must see
+	// frozen residents too (balloon churn), so neither ever walks the
+	// global process slice.
+	liveOn [][]*proc
+
 	// rows are the derived NodeView rows; order is the node index sequence
 	// sorted by descending Load, ascending index on ties (the NodesByLoad
 	// order). Both are repaired lazily from the dirty set.
@@ -85,6 +93,7 @@ func newLiveView(nodes []*cluster.Node, capMB int64, shardOf []int, shards int) 
 		runnable:   make([]int, n),
 		mem:        make([]int64, n),
 		runnableOn: make([][]*proc, n),
+		liveOn:     make([][]*proc, n),
 		rows:       make([]sched.NodeView, n),
 		order:      make([]int, n),
 		dirty:      make([]bool, n),
@@ -130,6 +139,7 @@ func (lv *liveView) arrive(p *proc) {
 	lv.runnable[i]++
 	lv.mem[i] += p.footprintMB
 	lv.runnableOn[i] = insertByID(lv.runnableOn[i], p)
+	lv.liveOn[i] = insertByID(lv.liveOn[i], p)
 	lv.touch(i)
 }
 
@@ -142,6 +152,7 @@ func (lv *liveView) depart(p *proc) {
 	lv.runnable[i]--
 	lv.mem[i] -= p.footprintMB
 	lv.runnableOn[i] = removeByID(lv.runnableOn[i], p)
+	lv.liveOn[i] = removeByID(lv.liveOn[i], p)
 	lv.touch(i)
 }
 
@@ -154,8 +165,10 @@ func (lv *liveView) freeze(p *proc, src, dst int) {
 	lv.runnable[src]--
 	lv.mem[src] -= p.footprintMB
 	lv.runnableOn[src] = removeByID(lv.runnableOn[src], p)
+	lv.liveOn[src] = removeByID(lv.liveOn[src], p)
 	lv.live[dst]++
 	lv.mem[dst] += p.footprintMB
+	lv.liveOn[dst] = insertByID(lv.liveOn[dst], p)
 	lv.touch(src)
 	lv.touch(dst)
 }

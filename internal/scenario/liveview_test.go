@@ -13,25 +13,30 @@ import (
 )
 
 // rebuildAggregates recomputes the live view's aggregates the way the
-// pre-incremental runner did: one full scan of every process.
-func rebuildAggregates(c *clusterSim) (live, runnable []int, mem []int64, lists [][]int) {
+// pre-incremental runner did: one full scan of every process. lists are
+// the runnable candidate ids per node; residents additionally carry the
+// frozen in-migrants — the resident population the per-node tick and
+// balloon scans iterate.
+func rebuildAggregates(c *clusterSim) (live, runnable []int, mem []int64, lists, residents [][]int) {
 	n := c.spec.Nodes
 	live = make([]int, n)
 	runnable = make([]int, n)
 	mem = make([]int64, n)
 	lists = make([][]int, n)
+	residents = make([][]int, n)
 	for _, p := range c.procs {
 		if !p.arrived || p.done {
 			continue
 		}
 		live[p.node]++
 		mem[p.node] += p.footprintMB
+		residents[p.node] = append(residents[p.node], p.t.id)
 		if !p.frozen {
 			runnable[p.node]++
 			lists[p.node] = append(lists[p.node], p.t.id)
 		}
 	}
-	return live, runnable, mem, lists
+	return live, runnable, mem, lists, residents
 }
 
 // rebuildRows recomputes the NodeView rows and the descending-load source
@@ -67,21 +72,25 @@ func rebuildRows(c *clusterSim) ([]sched.NodeView, []int) {
 // full recompute at the current instant.
 func verifyAggregates(t *testing.T, c *clusterSim, when string) {
 	t.Helper()
-	live, runnable, mem, lists := rebuildAggregates(c)
+	live, runnable, mem, lists, residents := rebuildAggregates(c)
 	for i := 0; i < c.spec.Nodes; i++ {
 		if c.lv.live[i] != live[i] || c.lv.runnable[i] != runnable[i] || c.lv.mem[i] != mem[i] {
 			t.Fatalf("%s: node %d aggregates live/runnable/mem = %d/%d/%d, rebuild %d/%d/%d",
 				when, i, c.lv.live[i], c.lv.runnable[i], c.lv.mem[i], live[i], runnable[i], mem[i])
 		}
-		ids := make([]int, len(c.lv.runnableOn[i]))
-		for j, p := range c.lv.runnableOn[i] {
-			ids[j] = p.t.id
+		ids := make([]int, 0, len(c.lv.runnableOn[i]))
+		for _, p := range c.lv.runnableOn[i] {
+			ids = append(ids, p.t.id)
 		}
-		if len(ids) == 0 && len(lists[i]) == 0 {
-			continue
-		}
-		if !reflect.DeepEqual(ids, lists[i]) {
+		if !(len(ids) == 0 && len(lists[i]) == 0) && !reflect.DeepEqual(ids, lists[i]) {
 			t.Fatalf("%s: node %d candidate list %v, rebuild %v", when, i, ids, lists[i])
+		}
+		res := make([]int, 0, len(c.lv.liveOn[i]))
+		for _, p := range c.lv.liveOn[i] {
+			res = append(res, p.t.id)
+		}
+		if !(len(res) == 0 && len(residents[i]) == 0) && !reflect.DeepEqual(res, residents[i]) {
+			t.Fatalf("%s: node %d resident list %v, rebuild %v", when, i, res, residents[i])
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"ampom/internal/fabric"
 	"ampom/internal/sched"
+	"ampom/internal/sim"
 	"ampom/internal/simtime"
 )
 
@@ -49,6 +50,27 @@ type SchemeStats struct {
 	// carried payload bytes. Populated only on switched fabrics; legacy
 	// star reports keep their pre-fabric shape.
 	TierUse []fabric.TierStats
+
+	// Sharding carries the conservative window scheduler's occupancy
+	// counters when the run was sharded; nil on sequential runs. This is
+	// execution telemetry, not model output — sharding is an execution
+	// strategy and every shard count must render byte-identical reports —
+	// so the render/JSON/CSV codecs (all explicit field lists) deliberately
+	// omit it. Benchmarks read it through SchemeStats to report parallel
+	// efficiency.
+	Sharding *ShardStats
+}
+
+// ShardStats is the sharded execution telemetry of one policy run.
+type ShardStats struct {
+	// Shards is the effective shard count the run executed under.
+	Shards int
+	// Workers reports whether windows fanned across goroutine workers
+	// (true) or ran inline on one thread (single-CPU hosts, identical
+	// schedule either way).
+	Workers bool
+	// Group is the window scheduler's occupancy picture.
+	Group sim.GroupStats
 }
 
 // Report is the cluster-level outcome of one scenario under every policy.

@@ -154,6 +154,20 @@ type clusterSim struct {
 	engines []*sim.Engine
 	group   *sim.ShardGroup
 
+	// Per-rack tick decomposition (two-tier fabrics): the quantum tick is
+	// not one whole-cluster event but one sub-event per rack band plus a
+	// global epilogue. Bands are rack-sized node ranges fixed by the spec —
+	// never by the shard count — so the event population, and with it
+	// st.Events and every report byte, is identical at every shard count.
+	// bandEng[b] is the engine owning band b's nodes (the global engine on
+	// sequential runs); doneBy[b] accumulates band b's completions for the
+	// epilogue to aggregate. Star and flat fabrics keep the monolithic
+	// ticker (bands == 0), which pins the legacy goldens.
+	bands   int
+	bandLo  []int // bandLo[b] is band b's first node; band b ends at bandLo[b+1]
+	bandEng []*sim.Engine
+	doneBy  []int
+
 	procs   []*proc
 	doneN   int
 	horizon simtime.Time
@@ -185,10 +199,8 @@ type clusterSim struct {
 	// hand-off views, reset at each hand-off.
 	llBase, llGossip int
 
-	// countScratch and candScratch are per-tick and per-decision reuse
-	// buffers.
-	countScratch []int
-	candScratch  []*proc
+	// candScratch is the per-decision candidate reuse buffer.
+	candScratch []*proc
 
 	// checkView, when set (tests only), observes every balance round's
 	// ground-truth view right after the incremental refresh — the hook the
@@ -373,12 +385,35 @@ func newClusterSimShards(spec Spec, scales []float64, tmpl []procTemplate, pol s
 		}
 	}
 
-	sim.NewTicker(c.eng, spec.Quantum, c.tick)
+	if f.Topology == fabric.KindTwoTier && !forceMonolithicTick {
+		// Per-rack tick decomposition. The band count follows the spec's
+		// rack geometry, not the shard plan: a sequential run schedules the
+		// same sub-events on its one engine, so every shard count replays
+		// the identical event population.
+		c.bands = (spec.Nodes + f.RackSize - 1) / f.RackSize
+		c.bandLo = make([]int, c.bands+1)
+		c.bandEng = make([]*sim.Engine, c.bands)
+		c.doneBy = make([]int, c.bands)
+		for b := 0; b < c.bands; b++ {
+			c.bandLo[b] = b * f.RackSize
+			c.bandEng[b] = engOf(c.bandLo[b])
+		}
+		c.bandLo[c.bands] = spec.Nodes
+		c.scheduleBandTicks(simtime.Time(spec.Quantum))
+	} else {
+		sim.NewTicker(c.eng, spec.Quantum, c.tick)
+	}
 	if pol.Name() != sched.BaselineName {
 		sim.NewTicker(c.eng, spec.BalancePeriod, c.balance)
 	}
 	return c
 }
+
+// forceMonolithicTick (tests only) makes two-tier runs keep the
+// single-event whole-cluster ticker instead of the per-band decomposition
+// — the reference implementation the decomposition property test compares
+// against.
+var forceMonolithicTick = false
 
 // fnvHash is FNV-1a over s — the per-policy stream discriminator.
 func fnvHash(s string) uint64 {
@@ -409,12 +444,14 @@ func (c *clusterSim) probeFor(i int) func() infod.LoadSample {
 // balloon grows the memory footprint of the largest live process on the
 // event's node (ties to the lowest id) by the event factor — a data set
 // expanding mid-run. With nothing live on the node the event is a no-op.
+// The scan is the live view's per-node resident list, not the global
+// process slice; it must be liveOn, not runnableOn, because a frozen
+// in-migrant is a balloon target too (the footprint lives where the
+// process is resident), and the list's ascending id order with a strict
+// comparison reproduces the global scan's lowest-id tie-break.
 func (c *clusterSim) balloon(ev ChurnEvent) {
 	var target *proc
-	for _, p := range c.procs {
-		if !p.arrived || p.done || p.node != ev.Node {
-			continue
-		}
+	for _, p := range c.lv.liveOn[ev.Node] {
 		if target == nil || p.footprintMB > target.footprintMB {
 			target = p
 		}
@@ -472,37 +509,114 @@ func (c *clusterSim) run() SchemeStats {
 	if !c.spec.Fabric.IsDefault() {
 		c.st.TierUse = c.ic.TierStats()
 	}
+	if c.group != nil {
+		c.st.Sharding = &ShardStats{
+			Shards:  c.shards,
+			Workers: shardWorkers(),
+			Group:   c.group.Stats(),
+		}
+	}
 	return c.st
 }
 
-// tick advances one processor-sharing quantum on every node. The per-node
-// runnable populations are the live view's aggregates, snapshotted so
-// completions during the quantum do not perturb the shares of the
-// processes advanced after them (exactly the pre-scan the full rebuild
-// performed).
+// tick advances one processor-sharing quantum on every node — the
+// monolithic ticker star and flat fabrics keep. It walks the live view's
+// per-node runnable lists instead of the global process slice, so neither
+// finished processes nor a Poisson arrival tail are ever rescanned; the
+// per-process updates are independent given each node's population
+// snapshot, so the node-major order leaves every observable byte where
+// the old id-major global scan put it.
 func (c *clusterSim) tick() {
-	if c.countScratch == nil {
-		c.countScratch = make([]int, c.spec.Nodes)
-	}
-	counts := c.countScratch
-	copy(counts, c.lv.runnable)
 	now := c.eng.Now()
-	for _, p := range c.procs {
-		if !p.arrived || p.done || p.frozen {
-			continue
-		}
-		share := simtime.Duration(float64(c.spec.Quantum) * c.nodes[p.node].CPUScale / float64(counts[p.node]))
+	for i := 0; i < c.spec.Nodes; i++ {
+		c.doneN += c.tickNode(i, now)
+	}
+	if c.doneN == len(c.procs) {
+		c.st.Makespan = simtime.Duration(now.Add(c.spec.Quantum))
+		c.eng.Stop()
+	}
+}
+
+// tickNode advances one quantum on node i's runnable residents and
+// reports how many of them completed. The share divisor is the node's
+// runnable population when its quantum fires: completions during the loop
+// shrink the list but must not perturb later shares, and no tick ever
+// touches another node's counters, so the single up-front read equals the
+// whole-cluster pre-scan the monolithic tick used to take.
+func (c *clusterSim) tickNode(i int, now simtime.Time) (done int) {
+	cnt := c.lv.runnable[i]
+	if cnt == 0 {
+		return 0
+	}
+	share := simtime.Duration(float64(c.spec.Quantum) * c.nodes[i].CPUScale / float64(cnt))
+	// Completion removes the process from the list in place (it is always
+	// at the cursor — the list stays in ascending id order), so the cursor
+	// only advances past survivors.
+	for k := 0; k < len(c.lv.runnableOn[i]); {
+		p := c.lv.runnableOn[i][k]
 		p.remaining -= share
 		if p.remaining <= 0 {
 			p.done = true
 			p.pcb.State = cluster.ProcDone
 			p.finishAt = now.Add(c.spec.Quantum)
-			c.doneN++
+			done++
 			c.lv.depart(p)
+			continue
 		}
+		k++
 	}
-	if c.doneN == len(c.procs) {
-		c.st.Makespan = simtime.Duration(now.Add(c.spec.Quantum))
+	return done
+}
+
+// tickEpilogueLag is the global aggregation event's offset past the band
+// ticks' instant. Virtual time is integer nanoseconds, so no event can
+// fire strictly between kQ and kQ+1ns: the epilogue observes exactly the
+// post-tick state, yet — unlike a global event at kQ itself — it leaves
+// the band ticks inside the window's parallel shard phase instead of
+// dragging them into the single-threaded coincident instant.
+const tickEpilogueLag = simtime.Nanosecond
+
+// scheduleBandTicks schedules quantum at's tick sub-events — one per rack
+// band, each on the engine owning the band — plus the global epilogue one
+// nanosecond later. Ascending band order on every engine mirrors the
+// coordinator's shards-first, ascending-index interleave at coincident
+// instants, which is how a sharded run replays the sequential schedule.
+func (c *clusterSim) scheduleBandTicks(at simtime.Time) {
+	for b := 0; b < c.bands; b++ {
+		b := b
+		c.bandEng[b].At(at, func() { c.tickBand(b) })
+	}
+	c.eng.At(at.Add(tickEpilogueLag), func() { c.tickEpilogue(at) })
+}
+
+// tickBand advances one quantum on one rack band's nodes. It runs on the
+// band's owning engine inside the window's parallel phase and touches only
+// band-local state: its nodes' processes, their live-view slices and the
+// band's completion counter.
+func (c *clusterSim) tickBand(b int) {
+	now := c.bandEng[b].Now()
+	done := 0
+	for i := c.bandLo[b]; i < c.bandLo[b+1]; i++ {
+		done += c.tickNode(i, now)
+	}
+	c.doneBy[b] += done
+}
+
+// tickEpilogue is the global aggregation closing quantum at: it reschedules
+// the next quantum's sub-events (first, like the monolithic ticker), sums
+// the per-band completion counters into doneN and applies the monolithic
+// tick's Stop/Makespan rule. It is the decomposition's only global event —
+// the window barrier separating it from the band ticks is what makes their
+// doneBy writes visible here.
+func (c *clusterSim) tickEpilogue(at simtime.Time) {
+	c.scheduleBandTicks(at.Add(c.spec.Quantum))
+	done := 0
+	for _, n := range c.doneBy {
+		done += n
+	}
+	c.doneN = done
+	if done == len(c.procs) {
+		c.st.Makespan = simtime.Duration(at.Add(c.spec.Quantum))
 		c.eng.Stop()
 	}
 }

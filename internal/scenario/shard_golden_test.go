@@ -86,6 +86,24 @@ func TestShardedReportsByteIdentical(t *testing.T) {
 				if gotC != wantC {
 					t.Errorf("%s/shards=%d: CSV report diverged from sequential", spec.Name, shards)
 				}
+				// The telemetry rides outside the byte surface: genuinely
+				// sharded runs must carry it, clamped-sequential runs not.
+				for _, st := range rep.Schemes {
+					if shards <= 1 {
+						if st.Sharding != nil {
+							t.Errorf("%s/shards=%d/%s: sequential run carries sharding telemetry", spec.Name, shards, st.Policy)
+						}
+						continue
+					}
+					if st.Sharding == nil {
+						t.Errorf("%s/shards=%d/%s: sharded run lost its telemetry", spec.Name, shards, st.Policy)
+						continue
+					}
+					if st.Sharding.Shards != shards || !st.Sharding.Workers || st.Sharding.Group.Windows == 0 {
+						t.Errorf("%s/shards=%d/%s: telemetry %+v inconsistent with a forced-worker sharded run",
+							spec.Name, shards, st.Policy, *st.Sharding)
+					}
+				}
 			}
 		}
 	})

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ampom/internal/simtime"
 )
@@ -65,6 +66,43 @@ type ShardGroup struct {
 	// the barrier drains every outbox single-threaded.
 	outbox  [][]stagedEvent
 	pending []stagedEvent
+
+	// work[i] feeds window edges to shard i's persistent worker goroutine;
+	// winWG is the per-window barrier. Workers start at the first parallel
+	// Run and stop when it returns — one goroutine per shard per run, not
+	// one per shard per window.
+	work  []chan simtime.Time
+	winWG sync.WaitGroup
+
+	// Occupancy counters (see Stats). windows/globalSync/staged are
+	// deterministic; shardBusy is wall-clock nanoseconds, written only by
+	// shard i's worker inside a window and read only after the barrier.
+	windows      uint64
+	globalSync   uint64
+	staged       uint64
+	shardWindows []uint64
+	shardBusy    []int64
+}
+
+// GroupStats is the occupancy picture of one sharded run — how the
+// conservative window protocol actually spent its time. Windows counts
+// lookahead windows advanced; GlobalSyncWindows the subset whose edge
+// carried global events (the single-threaded coincident instants);
+// StagedEvents the cross-shard events injected at barriers. Those three
+// are deterministic. ShardWindows[i] counts windows in which shard i had
+// work, ShardEvents[i] its processed events, and ShardBusy[i] the
+// wall-clock time its worker spent executing window phases (measured only
+// under goroutine workers; zero when windows run inline). Execution
+// telemetry, never model output: nothing here may feed back into the
+// simulation or its reports' byte surface.
+type GroupStats struct {
+	Windows           uint64
+	GlobalSyncWindows uint64
+	StagedEvents      uint64
+	GlobalEvents      uint64
+	ShardWindows      []uint64
+	ShardEvents       []uint64
+	ShardBusy         []time.Duration
 }
 
 // NewShardGroup assembles a group over the given engines. The lookahead
@@ -80,11 +118,13 @@ func NewShardGroup(global *Engine, shards []*Engine, lookahead simtime.Duration,
 		panic("sim: shard group needs a global engine and at least one shard")
 	}
 	return &ShardGroup{
-		Global:    global,
-		Shards:    shards,
-		lookahead: lookahead,
-		parallel:  parallel,
-		outbox:    make([][]stagedEvent, len(shards)),
+		Global:       global,
+		Shards:       shards,
+		lookahead:    lookahead,
+		parallel:     parallel,
+		outbox:       make([][]stagedEvent, len(shards)),
+		shardWindows: make([]uint64, len(shards)),
+		shardBusy:    make([]int64, len(shards)),
 	}
 }
 
@@ -125,6 +165,7 @@ func (g *ShardGroup) flush() {
 	if n == 0 {
 		return
 	}
+	g.staged += uint64(n)
 	g.pending = g.pending[:0]
 	for i, ob := range g.outbox {
 		g.pending = append(g.pending, ob...)
@@ -166,6 +207,10 @@ func (g *ShardGroup) flush() {
 // Stop is called, or the next window would open past the horizon. It
 // returns the virtual time at which it stopped, mirroring Engine.Run.
 func (g *ShardGroup) Run(horizon simtime.Time) simtime.Time {
+	if g.parallel {
+		g.startWorkers()
+		defer g.stopWorkers()
+	}
 	for {
 		g.flush()
 
@@ -209,12 +254,14 @@ func (g *ShardGroup) Run(horizon simtime.Time) simtime.Time {
 			e = horizon
 		}
 
+		g.windows++
 		if gOK && gAt <= e {
 			// The edge carries global events (e == gAt). Shards run strictly
 			// short of it in parallel, every clock advances onto it, and the
 			// coincident instant executes single-threaded with global and
 			// shard events interleaved by scheduling time — the order the
 			// sequential engine's insertion sequence would have produced.
+			g.globalSync++
 			g.runShards(e - 1)
 			for _, sh := range g.Shards {
 				sh.AdvanceTo(e)
@@ -272,28 +319,76 @@ func (g *ShardGroup) runInstant(t simtime.Time) {
 	}
 }
 
+// startWorkers launches one persistent goroutine per shard, fed window
+// edges over its channel. Each worker times its phase with the wall clock
+// (the busy figure Stats reports) and signals the window barrier when its
+// shard's queue reaches the edge.
+func (g *ShardGroup) startWorkers() {
+	g.work = make([]chan simtime.Time, len(g.Shards))
+	for i := range g.Shards {
+		ch := make(chan simtime.Time, 1)
+		g.work[i] = ch
+		go func(i int, ch chan simtime.Time) {
+			for e := range ch {
+				t0 := time.Now()
+				g.Shards[i].Run(e)
+				g.shardBusy[i] += int64(time.Since(t0))
+				g.winWG.Done()
+			}
+		}(i, ch)
+	}
+}
+
+// stopWorkers retires the worker pool; every worker is idle between
+// windows (the barrier guarantees it), so closing the channels suffices.
+func (g *ShardGroup) stopWorkers() {
+	for _, ch := range g.work {
+		close(ch)
+	}
+	g.work = nil
+}
+
 // runShards executes one window's shard phase: every shard with work at or
-// before the window edge runs, concurrently when the group is parallel.
+// before the window edge runs, on its persistent worker when the group is
+// parallel.
 func (g *ShardGroup) runShards(e simtime.Time) {
 	if !g.parallel {
-		for _, sh := range g.Shards {
+		for i, sh := range g.Shards {
 			if at, ok := sh.NextAt(); ok && at <= e {
+				g.shardWindows[i]++
 				sh.Run(e)
 			}
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for _, sh := range g.Shards {
+	for i, sh := range g.Shards {
 		if at, ok := sh.NextAt(); ok && at <= e {
-			wg.Add(1)
-			go func(sh *Engine) {
-				defer wg.Done()
-				sh.Run(e)
-			}(sh)
+			g.shardWindows[i]++
+			g.winWG.Add(1)
+			g.work[i] <- e
 		}
 	}
-	wg.Wait()
+	g.winWG.Wait()
+}
+
+// Stats snapshots the group's occupancy counters. Call it between Runs or
+// after one returns — the window barrier is what orders the workers'
+// busy-time writes before this read.
+func (g *ShardGroup) Stats() GroupStats {
+	s := GroupStats{
+		Windows:           g.windows,
+		GlobalSyncWindows: g.globalSync,
+		StagedEvents:      g.staged,
+		GlobalEvents:      g.Global.Processed,
+		ShardWindows:      append([]uint64(nil), g.shardWindows...),
+		ShardEvents:       make([]uint64, len(g.Shards)),
+		ShardBusy:         make([]time.Duration, len(g.Shards)),
+	}
+	for i, sh := range g.Shards {
+		s.ShardEvents[i] = sh.Processed
+		s.ShardBusy[i] = time.Duration(g.shardBusy[i])
+	}
+	return s
 }
 
 // Processed sums executed events across the global engine and every

@@ -219,6 +219,76 @@ func TestShardGroupParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestShardGroupStatsConsistent(t *testing.T) {
+	// The occupancy counters must tell one coherent story in both execution
+	// modes: every deterministic figure (windows, global syncs, staged and
+	// processed events, per-shard window participation) is identical inline
+	// and under goroutine workers, and the per-shard event counts plus the
+	// global engine's account for every processed event.
+	run := func(parallel bool) GroupStats {
+		g := newTestGroup(3, parallel)
+		var mu sync.Mutex
+		hops := 0
+		var relay func(shard int, at simtime.Time)
+		relay = func(shard int, at simtime.Time) {
+			g.Shards[shard].At(at, func() {
+				mu.Lock()
+				hops++
+				h := hops
+				mu.Unlock()
+				if h < 9 {
+					g.Stage(shard, (shard+1)%3, at+simtime.Time(2*simtime.Millisecond), 0, func() {
+						relay((shard+1)%3, at+simtime.Time(4*simtime.Millisecond))
+					})
+				}
+			})
+		}
+		relay(0, simtime.Time(simtime.Millisecond))
+		// A global event mid-run forces at least one global-sync window.
+		g.Global.At(simtime.Time(10*simtime.Millisecond), func() {})
+		g.Run(simtime.Never)
+
+		st := g.Stats()
+		if st.Windows == 0 {
+			t.Fatalf("parallel=%v: Windows = 0 after a run with events", parallel)
+		}
+		if st.GlobalSyncWindows == 0 || st.GlobalSyncWindows > st.Windows {
+			t.Fatalf("parallel=%v: GlobalSyncWindows = %d out of range (0, %d]",
+				parallel, st.GlobalSyncWindows, st.Windows)
+		}
+		if len(st.ShardWindows) != len(g.Shards) || len(st.ShardEvents) != len(g.Shards) || len(st.ShardBusy) != len(g.Shards) {
+			t.Fatalf("parallel=%v: per-shard slice lengths %d/%d/%d, want %d",
+				parallel, len(st.ShardWindows), len(st.ShardEvents), len(st.ShardBusy), len(g.Shards))
+		}
+		var shardEvents uint64
+		for i := range g.Shards {
+			if st.ShardWindows[i] > st.Windows {
+				t.Fatalf("parallel=%v: shard %d participated in %d of %d windows",
+					parallel, i, st.ShardWindows[i], st.Windows)
+			}
+			shardEvents += st.ShardEvents[i]
+			if !parallel && st.ShardBusy[i] != 0 {
+				t.Fatalf("inline run recorded busy time %v on shard %d", st.ShardBusy[i], i)
+			}
+		}
+		if got := shardEvents + st.GlobalEvents; got != g.Processed() {
+			t.Fatalf("parallel=%v: shard events %d + global %d = %d, Processed() = %d",
+				parallel, shardEvents, st.GlobalEvents, got, g.Processed())
+		}
+		// The relay stages one cross-shard hand-off per hop except the last.
+		if st.StagedEvents != 8 {
+			t.Fatalf("parallel=%v: StagedEvents = %d, want 8", parallel, st.StagedEvents)
+		}
+		return st
+	}
+
+	seq, par := run(false), run(true)
+	seq.ShardBusy, par.ShardBusy = nil, nil // wall-clock, legitimately differs
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("deterministic stats diverge across modes:\ninline   %+v\nparallel %+v", seq, par)
+	}
+}
+
 func TestNewShardGroupRejectsBadConfig(t *testing.T) {
 	mustPanic := func(name string, fn func()) {
 		defer func() {
