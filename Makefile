@@ -68,22 +68,24 @@ bench-scenario:
 bench-balance:
 	$(GO) test -run '^$$' -bench '^BenchmarkPolicySweep$$' -benchtime 1x .
 
-# BenchmarkFabric{512,4096,16384,16384Shards} run the rack-farm
-# (512n/2048p), mega-farm (4096n/16384p) and giga-farm (16384n/65536p)
+# BenchmarkFabric{512,512Failures,4096,16384,16384Shards} run the rack-farm
+# (512n/2048p, failure-free and under the crash/evacuation/link-flap
+# script), mega-farm (4096n/16384p) and giga-farm (16384n/65536p)
 # presets on their two-tier switched fabrics with gossip dissemination —
 # the giga-farm twice, sequentially and under the sharded event engine at
 # one shard per rack — and FAIL if any policy's
 # events-per-simulated-second exceeds the fixed budgets — the scale-out
 # regression gates the incremental cluster view, the bounded partial-view
-# gossip plane and the conservative shard scheduler are held to.
+# gossip plane, the conservative shard scheduler and the failure plane are
+# held to.
 bench-fabric:
-	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096|16384|16384Shards)$$' -benchtime 1x -timeout 30m .
+	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|512Failures|4096|16384|16384Shards)$$' -benchtime 1x -timeout 30m .
 
 # bench-json runs the fabric gates and records them machine-readably in
 # BENCH_fabric.json (benchmark name -> ns/op, events/sim-s and the other
 # reported metrics), so the perf trajectory is diffable across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|4096|16384|16384Shards)$$' -benchtime 1x -timeout 30m . \
+	$(GO) test -run '^$$' -bench '^BenchmarkFabric(512|512Failures|4096|16384|16384Shards)$$' -benchtime 1x -timeout 30m . \
 		| $(GO) run ./cmd/ampom-benchjson -o BENCH_fabric.json
 	@cat BENCH_fabric.json
 

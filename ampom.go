@@ -386,6 +386,11 @@ const (
 // ScenarioPresetNames lists the built-in scenarios of cmd/ampom-cluster.
 func ScenarioPresetNames() []string { return scenario.PresetNames() }
 
+// ScenarioChurnKindNames lists every churn-event kind a spec's churn
+// timeline accepts, in registry order — the names the JSON codec reads and
+// writes.
+func ScenarioChurnKindNames() []string { return scenario.ChurnKindNames() }
+
 // ScenarioPreset returns a named built-in scenario.
 func ScenarioPreset(name string) (ScenarioSpec, error) { return scenario.Preset(name) }
 

@@ -408,6 +408,58 @@ func BenchmarkFabric512(b *testing.B) {
 	}
 }
 
+// fabric512FailuresEventBudget caps the rack-farm-failures preset: the same
+// 512-node fabric as BenchmarkFabric512 plus the failure script (two
+// evacuating crashes, a rack-uplink flap, staggered recoveries). Failures
+// are global events — a handful of crash/recover/link transitions per run —
+// so the sustained rate must stay in the same band as the failure-free
+// gate; a regression where the failure plane starts ticking per-process or
+// per-quantum work (resweeping frozen procs, re-scheduling bounced
+// payloads) trips this budget first. Measured ~4.4k events/sim-s per
+// policy — above rack-farm's ~3.3k because stale gossip at the crashed
+// nodes keeps steering migrations that bounce — gated with ~2× headroom
+// like its siblings.
+const fabric512FailuresEventBudget = 9_000
+
+// BenchmarkFabric512Failures runs the rack-farm-failures preset end to end
+// (`make bench-fabric`): the 512-node gate with node crashes, evacuation,
+// fail-back and a link flap live. Alongside the event budget it reports the
+// fail-back count, so CI notices if the failure script silently stops
+// exercising the bounce path.
+func BenchmarkFabric512Failures(b *testing.B) {
+	spec, err := ScenarioPreset("rack-farm-failures")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if spec.Nodes != 512 || spec.Procs != 2048 {
+		b.Fatalf("rack-farm-failures is %dn/%dp, want 512/2048", spec.Nodes, spec.Procs)
+	}
+	spec.Policies = []string{PolicyNoMigration, PolicyAMPoM, PolicyQueueGossip}
+	spec = spec.Canonical()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenario(spec, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		assertEventBudget(b, rep, fabric512FailuresEventBudget, i == b.N-1)
+		var crashes, failBacks int
+		for _, st := range rep.Schemes {
+			crashes += st.Crashes
+			failBacks += st.FailBacks
+			if st.Unfinished != 0 {
+				b.Fatalf("%s: lost %d processes", st.Policy, st.Unfinished)
+			}
+		}
+		if crashes == 0 {
+			b.Fatal("failure preset recorded no crashes")
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(failBacks), "fail_backs")
+		}
+	}
+}
+
 // BenchmarkFabric4096 runs the 4096-node / 16384-process mega-farm preset
 // (64-node racks under an 8× oversubscribed core, 4 s gossip) end to end —
 // the scale the incremental cluster view exists for: balance rounds touch

@@ -100,6 +100,7 @@ func main() {
 		}
 		fmt.Printf("fabrics: %s\n", strings.Join(ampom.FabricTopologyNames(), ", "))
 		fmt.Printf("policies: %s\n", strings.Join(ampom.BalancerPolicyNames(), ", "))
+		fmt.Printf("churn kinds: %s\n", strings.Join(ampom.ScenarioChurnKindNames(), ", "))
 		return
 	}
 

@@ -20,8 +20,9 @@ import (
 func TestSmokeList(t *testing.T) {
 	out := clitest.Run(t, "-list")
 	for _, want := range []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks",
-		"rack-farm", "gossip-mesh", "two-tier", "flat",
-		"no-migration", "load-vector", "mem-usher", "queue-gossip"} {
+		"rack-farm", "rack-farm-failures", "gossip-mesh", "two-tier", "flat",
+		"no-migration", "load-vector", "mem-usher", "queue-gossip",
+		"churn kinds:", "node-crash", "node-recover", "link-down", "link-up"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("%q missing from -list:\n%s", want, out)
 		}
@@ -173,6 +174,38 @@ func TestSmokeFabricOverride(t *testing.T) {
 	}
 }
 
+// TestSmokeFailurePreset drives the failure-realism preset at test scale:
+// the failure columns render, crashes and evacuations register, no process
+// is lost, the extended CSV header lands in -o output, and equal seeds
+// render byte-identically across -shards (failures are global events, so
+// sharding stays an execution strategy).
+func TestSmokeFailurePreset(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "out.csv")
+	args := []string{"-scenario", "rack-farm-failures", "-nodes", "64", "-procs", "256",
+		"-policies", "no-migration,AMPoM,queue-gossip", "-seed", "3"}
+	out := clitest.Run(t, append(append([]string{}, args...), "-o", csvPath)...)
+	for _, want := range []string{"scenario rack-farm-failures",
+		"p50(s)", "p95(s)", "p99(s)", "crashes", "evacuated", "failbacks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("failure report missing %q:\n%s", want, out)
+		}
+	}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(csvData), "\n", 2)[0]
+	for _, col := range []string{"sojourn_p50_s", "sojourn_p99_s", "crashes", "evacuations", "fail_backs"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("CSV header missing %q: %s", col, header)
+		}
+	}
+	if out2 := clitest.Run(t, append(append([]string{}, args...), "-shards", "2")...); out2 != out {
+		t.Fatalf("-shards 2 rendered a different failure report:\n%s\n---\n%s", out, out2)
+	}
+}
+
 // TestSmokeGossipWindowOverride drives the -gossip-window knob: a tiny
 // window still renders a valid deterministic report (and a different run
 // than the default, since the knob is behaviour-bearing), and a negative
@@ -315,6 +348,69 @@ func TestDiffTolerance(t *testing.T) {
 	}
 	if _, stderr := clitest.RunExpect(t, cli.CodeUsage, "-diff", "-diff-eps", "bogus", a, b); !strings.Contains(stderr, "not a non-negative epsilon") {
 		t.Fatalf("unexpected stderr:\n%s", stderr)
+	}
+}
+
+// TestDiffToleranceSojournColumns locks -diff-eps over the failure plane's
+// latency columns: the sojourn percentiles are float columns, so a
+// per-column relative epsilon gates small drift as equal, while the
+// crash/evacuation/fail-back counters always compare exactly.
+func TestDiffToleranceSojournColumns(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	clitest.Run(t, "-scenario", "rack-farm-failures", "-nodes", "64", "-procs", "256",
+		"-policies", "no-migration,AMPoM", "-seed", "5", "-j", "1", "-o", a)
+
+	data, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	rows := doc["policies"].([]any)
+	row := rows[0].(map[string]any)
+	p95, err := row["sojourn_p95_s"].(json.Number).Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row["sojourn_p95_s"] = json.Number(strconv.FormatFloat(p95*1.004, 'g', -1, 64))
+	crashes, err := row["crashes"].(json.Number).Int64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(b, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if out := clitest.Run(t, "-diff", "-diff-eps", "sojourn_p95_s=0.01", a, b); !strings.Contains(out, "within tolerance") {
+		t.Fatalf("0.4%% sojourn drift failed the per-column 1%% gate:\n%s", out)
+	}
+	out, _ := clitest.RunExpect(t, cli.CodeFail, "-diff", a, b)
+	if !strings.Contains(out, "sojourn_p95_s") {
+		t.Fatalf("exact diff did not flag the sojourn column:\n%s", out)
+	}
+
+	// A changed counter is never masked by a float epsilon.
+	row["crashes"] = json.Number(strconv.FormatInt(crashes+1, 10))
+	edited, err = json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = clitest.RunExpect(t, cli.CodeFail, "-diff", "-diff-eps", "1e9", a, b)
+	if !strings.Contains(out, "crashes") {
+		t.Fatalf("crash-counter divergence masked by the float epsilon:\n%s", out)
 	}
 }
 

@@ -231,6 +231,25 @@ type Interconnect interface {
 	// SetBackgroundLoad sets the background-load fraction of node's
 	// node-facing link (node < 0: every node-facing link).
 	SetBackgroundLoad(node int, frac float64)
+	// SetLinkState marks one link up or down: node >= 0 addresses node's
+	// edge link, node = -(r+1) rack r's core uplink (two-tier only). A
+	// down link refuses new traffic at the switch — payloads reaching the
+	// hop are dropped — while messages already serialised onto a hop keep
+	// flowing; gossip silence then ages the unreachable nodes to Unknown.
+	// The star has no link state and panics (spec validation rejects
+	// failure events on it).
+	SetLinkState(node int, up bool)
+	// PathUp reports whether every link on the src→dst path is currently
+	// up — the admission check a migration's freeze-time send performs
+	// before committing the payload to the wire.
+	PathUp(src, dst int) bool
+	// DestReachable reports whether the remainder of a src→dst path is up
+	// for a payload already past its source edge link: the destination
+	// edge plus, cross-rack on the two-tier, both core uplinks. The
+	// migration layer re-verifies in-flight payloads against it at every
+	// topology transition and fails unroutable migrants back to their
+	// sources.
+	DestReachable(src, dst int) bool
 	// Gossip returns node i's gossip daemon, or nil on topologies that run
 	// the legacy paired-daemon monitoring (the star).
 	Gossip(i int) *infod.Gossip

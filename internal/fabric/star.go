@@ -171,6 +171,18 @@ func (s *star) SetBackgroundLoad(node int, frac float64) {
 	}
 }
 
+// SetLinkState is unreachable on the star: spec validation rejects
+// failure events on the hub-spoke legacy fabric, which has no link state.
+func (s *star) SetLinkState(node int, up bool) {
+	panic("fabric: the star fabric has no link state")
+}
+
+// PathUp reports every path up: the star never fails links.
+func (s *star) PathUp(src, dst int) bool { return true }
+
+// DestReachable reports every destination reachable on the star.
+func (s *star) DestReachable(src, dst int) bool { return true }
+
 // Gossip reports no gossip daemons: the star runs paired monitoring.
 func (s *star) Gossip(int) *infod.Gossip { return nil }
 

@@ -49,6 +49,7 @@ type switched struct {
 	links     []*netmodel.Link
 	linkTier  []int
 	linkBytes []int64 // carried bytes per link; TierStats sums per tier
+	linkDown  []bool  // failed links refuse new traffic at the switch
 	edgeLink  []int   // edgeLink[node] is the node's uplink into the fabric
 
 	// Routing state: the tree is regular enough that the next hop is
@@ -166,6 +167,7 @@ func buildSwitched(eng *sim.Engine, nodes []*cluster.Node, cfg Config) *switched
 		s.links = append(s.links, l)
 		s.linkTier = append(s.linkTier, tier)
 		s.linkBytes = append(s.linkBytes, 0)
+		s.linkDown = append(s.linkDown, false)
 		s.tiers[tier].Links++
 		s.tiers[tier].CapacityBps += profile.BandwidthBps
 		return len(s.links) - 1
@@ -342,9 +344,19 @@ func (s *switched) hop(v, dst int) int {
 	}
 }
 
-// forward ships an envelope one hop onward from vertex v.
+// forward ships an envelope one hop onward from vertex v. A down link
+// drops the envelope at the switch: nothing new is serialised onto a
+// failed hop (messages already on the wire when the link failed keep
+// flowing — the per-hop granularity of store-and-forward). Dropped
+// migration payloads are not lost processes: the runner re-verifies every
+// in-flight migration against DestReachable at each topology transition
+// and fails unroutable migrants back to their sources, so by the time a
+// hop eats a freeze-time payload its process has already reverted.
 func (s *switched) forward(v int, env *envelope) {
 	li := s.hop(v, env.dst)
+	if s.linkDown[li] {
+		return
+	}
 	s.linkBytes[li] += env.inner.Size
 	s.links[li].Send(s.nicOf[v], netmodel.Message{Size: env.inner.Size, Payload: env})
 }
@@ -408,6 +420,44 @@ func (s *switched) SetBackgroundLoad(node int, frac float64) {
 			s.links[s.edgeLink[i]].SetBackgroundLoad(frac)
 		}
 	}
+}
+
+// linkIndex resolves a SetLinkState selector: node >= 0 is the node's
+// edge link, -(r+1) rack r's core uplink.
+func (s *switched) linkIndex(node int) int {
+	if node >= 0 {
+		return s.edgeLink[node]
+	}
+	r := -node - 1
+	if s.kind != KindTwoTier || r >= len(s.uplink) {
+		panic(fmt.Sprintf("fabric: link selector %d addresses uplink of rack %d, which this %v fabric does not have", node, r, s.kind))
+	}
+	return s.uplink[r]
+}
+
+// SetLinkState marks one link up or down. State changes are global events
+// (churn) executed while every shard is synchronised, so the flags are
+// read race-free inside subsequent shard windows.
+func (s *switched) SetLinkState(node int, up bool) {
+	s.linkDown[s.linkIndex(node)] = !up
+}
+
+// PathUp reports whether every link on the src→dst path is up.
+func (s *switched) PathUp(src, dst int) bool {
+	return !s.linkDown[s.edgeLink[src]] && s.DestReachable(src, dst)
+}
+
+// DestReachable reports whether everything past src's edge link on the
+// src→dst path is up: the destination edge plus, cross-rack on the
+// two-tier, both core uplinks.
+func (s *switched) DestReachable(src, dst int) bool {
+	if s.linkDown[s.edgeLink[dst]] {
+		return false
+	}
+	if s.kind == KindTwoTier && s.rackOf[src] != s.rackOf[dst] {
+		return !s.linkDown[s.uplink[s.rackOf[src]]] && !s.linkDown[s.uplink[s.rackOf[dst]]]
+	}
+	return true
 }
 
 // Gossip returns node i's gossip daemon.

@@ -52,6 +52,7 @@ type specJSON struct {
 	Mix              []mixJSON    `json:"mix,omitempty"`
 	Policies         []string     `json:"policies,omitempty"`
 	LoadVectorLen    int          `json:"load_vector_len,omitempty"`
+	Evacuate         bool         `json:"evacuate,omitempty"`
 	Network          *networkJSON `json:"network,omitempty"`
 	Fabric           *fabricJSON  `json:"fabric,omitempty"`
 	BackgroundLoad   float64      `json:"background_load,omitempty"`
@@ -141,11 +142,12 @@ func parsePlacement(s string) (Placement, error) {
 	return 0, fmt.Errorf("scenario: unknown placement %q", s)
 }
 
-// parseChurnKind resolves a churn-kind name.
+// parseChurnKind resolves a churn-kind name against the registry, so any
+// kind String() renders is guaranteed to parse back.
 func parseChurnKind(s string) (ChurnKind, error) {
-	for _, k := range []ChurnKind{ChurnSlowNode, ChurnBurst, ChurnNetLoad, ChurnBalloon} {
-		if s == k.String() {
-			return k, nil
+	for i, name := range churnKindNames {
+		if s == name {
+			return ChurnKind(i), nil
 		}
 	}
 	return 0, fmt.Errorf("scenario: unknown churn kind %q", s)
@@ -171,6 +173,7 @@ func (s Spec) toJSON() specJSON {
 		NodeMemMB:        s.NodeMemMB,
 		Policies:         s.Policies,
 		LoadVectorLen:    s.LoadVectorLen,
+		Evacuate:         s.Evacuate,
 		BackgroundLoad:   s.BackgroundLoad,
 		BalancePeriod:    fmtDur(s.BalancePeriod),
 		CostThreshold:    s.CostThreshold,
@@ -219,6 +222,7 @@ func (sj specJSON) fromJSON() (Spec, error) {
 		NodeMemMB:       sj.NodeMemMB,
 		Policies:        sj.Policies,
 		LoadVectorLen:   sj.LoadVectorLen,
+		Evacuate:        sj.Evacuate,
 		BackgroundLoad:  sj.BackgroundLoad,
 		CostThreshold:   sj.CostThreshold,
 	}
@@ -372,20 +376,29 @@ type reportJSON struct {
 }
 
 type schemeJSON struct {
-	Policy         string     `json:"policy"`
-	MakespanS      float64    `json:"makespan_s"`
-	MeanSlowdown   float64    `json:"mean_slowdown"`
-	SlowdownVsBase float64    `json:"slowdown_vs_base"`
-	Migrations     int        `json:"migrations"`
-	FrozenS        float64    `json:"frozen_s"`
-	ExtraWorkS     float64    `json:"extra_work_s"`
-	HardFaults     int64      `json:"hard_faults"`
-	PrefetchPages  int64      `json:"prefetch_pages"`
-	MigrationBytes int64      `json:"migration_bytes"`
-	Unfinished     int        `json:"unfinished"`
-	FinalRTTMs     float64    `json:"final_rtt_ms"`
-	Events         uint64     `json:"events"`
-	Tiers          []tierJSON `json:"tiers,omitempty"`
+	Policy         string  `json:"policy"`
+	MakespanS      float64 `json:"makespan_s"`
+	MeanSlowdown   float64 `json:"mean_slowdown"`
+	SlowdownVsBase float64 `json:"slowdown_vs_base"`
+	Migrations     int     `json:"migrations"`
+	FrozenS        float64 `json:"frozen_s"`
+	ExtraWorkS     float64 `json:"extra_work_s"`
+	HardFaults     int64   `json:"hard_faults"`
+	PrefetchPages  int64   `json:"prefetch_pages"`
+	MigrationBytes int64   `json:"migration_bytes"`
+	Unfinished     int     `json:"unfinished"`
+	FinalRTTMs     float64 `json:"final_rtt_ms"`
+	Events         uint64  `json:"events"`
+	// The failure plane's SLO percentiles and event counters. Populated
+	// only by failure-churn runs, and omitted at zero, so legacy report
+	// documents keep their exact shape.
+	SojournP50S float64    `json:"sojourn_p50_s,omitempty"`
+	SojournP95S float64    `json:"sojourn_p95_s,omitempty"`
+	SojournP99S float64    `json:"sojourn_p99_s,omitempty"`
+	Crashes     int        `json:"crashes,omitempty"`
+	Evacuations int        `json:"evacuations,omitempty"`
+	FailBacks   int        `json:"fail_backs,omitempty"`
+	Tiers       []tierJSON `json:"tiers,omitempty"`
 }
 
 // tierJSON is one interconnect tier's utilisation row (switched fabrics
@@ -413,6 +426,12 @@ func schemeToJSON(st SchemeStats) schemeJSON {
 		Unfinished:     st.Unfinished,
 		FinalRTTMs:     st.FinalRTT.Milliseconds(),
 		Events:         st.Events,
+		SojournP50S:    st.SojournP50.Seconds(),
+		SojournP95S:    st.SojournP95.Seconds(),
+		SojournP99S:    st.SojournP99.Seconds(),
+		Crashes:        st.Crashes,
+		Evacuations:    st.Evacuations,
+		FailBacks:      st.FailBacks,
 	}
 	for _, tu := range st.TierUse {
 		out.Tiers = append(out.Tiers, tierJSON{
@@ -473,12 +492,22 @@ var csvHeader = []string{
 	"final_rtt_ms", "events",
 }
 
+// csvFailureHeader extends csvHeader with the failure plane's SLO and
+// event-counter columns. A document uses the extended set when any of its
+// reports ran failure churn (every row must share one column count);
+// failure-free documents keep the legacy header byte-for-byte.
+var csvFailureHeader = append(append([]string(nil), csvHeader...),
+	"sojourn_p50_s", "sojourn_p95_s", "sojourn_p99_s",
+	"crashes", "evacuations", "fail_backs",
+)
+
 // fmtFloat renders a float with the shortest representation that parses
 // back exactly — deterministic and lossless.
 func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
-// csvRows appends the report's data rows (no header).
-func (r *Report) csvRows(b *strings.Builder) {
+// csvRows appends the report's data rows (no header); failures widens the
+// rows with the failure-plane columns to match csvFailureHeader.
+func (r *Report) csvRows(b *strings.Builder, failures bool) {
 	for _, st := range r.Schemes {
 		cells := []string{
 			r.Spec.Name,
@@ -497,18 +526,41 @@ func (r *Report) csvRows(b *strings.Builder) {
 			fmtFloat(st.FinalRTT.Milliseconds()),
 			strconv.FormatUint(st.Events, 10),
 		}
+		if failures {
+			cells = append(cells,
+				fmtFloat(st.SojournP50.Seconds()),
+				fmtFloat(st.SojournP95.Seconds()),
+				fmtFloat(st.SojournP99.Seconds()),
+				strconv.Itoa(st.Crashes),
+				strconv.Itoa(st.Evacuations),
+				strconv.Itoa(st.FailBacks),
+			)
+		}
 		b.WriteString(strings.Join(cells, ","))
 		b.WriteByte('\n')
 	}
+}
+
+// csvHeaderFor picks the header for a document covering the given reports:
+// the extended failure set when any report ran failure churn, the legacy
+// set otherwise.
+func csvHeaderFor(reports []*Report) ([]string, bool) {
+	for _, r := range reports {
+		if r != nil && r.Spec.HasFailures() {
+			return csvFailureHeader, true
+		}
+	}
+	return csvHeader, false
 }
 
 // CSV renders the report as comma-separated values, one row per policy in
 // the report's (registry-sorted) order.
 func (r *Report) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(csvHeader, ","))
+	header, failures := csvHeaderFor([]*Report{r})
+	b.WriteString(strings.Join(header, ","))
 	b.WriteByte('\n')
-	r.csvRows(&b)
+	r.csvRows(&b, failures)
 	return b.String()
 }
 
@@ -516,13 +568,14 @@ func (r *Report) CSV() string {
 // header; the scenario and seed columns distinguish the runs.
 func ReportsCSV(reports []*Report) string {
 	var b strings.Builder
-	b.WriteString(strings.Join(csvHeader, ","))
+	header, failures := csvHeaderFor(reports)
+	b.WriteString(strings.Join(header, ","))
 	b.WriteByte('\n')
 	for _, r := range reports {
 		if r == nil {
 			continue
 		}
-		r.csvRows(&b)
+		r.csvRows(&b, failures)
 	}
 	return b.String()
 }

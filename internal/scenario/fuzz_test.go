@@ -28,6 +28,14 @@ func FuzzSpecRoundTrip(f *testing.F) {
 	// Overlapping node tiers must be rejected (slow+fast > 1 would
 	// silently truncate the fast tier in buildWorkload).
 	f.Add([]byte(`{"version": 1, "slow_frac": 0.7, "fast_frac": 0.7}`))
+	// The failure plane: crash/recover/link churn (negative node selects a
+	// rack uplink) and the evacuate knob, which requires a node-crash.
+	f.Add([]byte(`{"version": 1, "fabric": {"topology": "two-tier", "rack_size": 4}, "evacuate": true, "churn": [{"at": "2s", "kind": "node-crash", "node": 1}, {"at": "4s", "kind": "node-recover", "node": 1}]}`))
+	f.Add([]byte(`{"version": 1, "fabric": {"topology": "two-tier", "rack_size": 4}, "churn": [{"at": "3s", "kind": "link-down", "node": -1}, {"at": "5s", "kind": "link-up", "node": -1}]}`))
+	f.Add([]byte(`{"version": 1, "fabric": {"topology": "flat"}, "churn": [{"at": "1s", "kind": "link-down", "node": 2}, {"at": "2s", "kind": "link-up", "node": 2}]}`))
+	// Evacuate without a crash, and failure churn on the star, must reject.
+	f.Add([]byte(`{"version": 1, "evacuate": true}`))
+	f.Add([]byte(`{"version": 1, "churn": [{"at": "2s", "kind": "node-crash", "node": 1}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s1, err := DecodeSpec(data)

@@ -183,6 +183,33 @@ func (lv *liveView) unfreeze(p *proc) {
 	lv.runnableOn[i] = insertByID(lv.runnableOn[i], p)
 }
 
+// suspend parks a runnable resident off the tick and candidate lists
+// without departing it: its node crashed (killing the process's progress)
+// or it arrived on a crashed node, and it idles, still resident, until the
+// node recovers. The visible row is untouched — load tracks the resident
+// count, and a suspended process still occupies its node's memory and
+// queue slot, exactly what a recovering balancer should see.
+func (lv *liveView) suspend(p *proc) {
+	i := p.node
+	lv.runnable[i]--
+	lv.runnableOn[i] = removeByID(lv.runnableOn[i], p)
+}
+
+// failBack reverses an interrupted migration's freeze-time transfer: the
+// resident aggregates move from the dead destination back to the source.
+// Runnability is the caller's decision — the migrant resumes at once on a
+// live source but stays suspended (still frozen) on a crashed one.
+func (lv *liveView) failBack(p *proc, dst, src int) {
+	lv.live[dst]--
+	lv.mem[dst] -= p.footprintMB
+	lv.liveOn[dst] = removeByID(lv.liveOn[dst], p)
+	lv.live[src]++
+	lv.mem[src] += p.footprintMB
+	lv.liveOn[src] = insertByID(lv.liveOn[src], p)
+	lv.touch(dst)
+	lv.touch(src)
+}
+
 // memDelta applies a resident-footprint change (balloon churn) to p's
 // current node — frozen or runnable, the footprint lives where the process
 // is resident.

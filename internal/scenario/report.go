@@ -40,6 +40,24 @@ type SchemeStats struct {
 	// Unfinished counts processes still running (or unarrived) at the
 	// horizon.
 	Unfinished int
+
+	// The failure plane's SLO metrics, populated only on specs with
+	// failure churn (HasFailures): sojourn latency (arrival → completion)
+	// percentiles over completed processes by the nearest-rank method, and
+	// the crash/evacuation/fail-back event counters. Legacy reports keep
+	// their exact shape — the render/JSON/CSV codecs surface these columns
+	// only on failure specs.
+	SojournP50 simtime.Duration
+	SojournP95 simtime.Duration
+	SojournP99 simtime.Duration
+	// Crashes counts node-crash events applied; Evacuations counts
+	// processes drained off dying nodes through real migrations; FailBacks
+	// counts interrupted migrations that reverted to their sources (crash
+	// of the destination, a dead path at freeze time, or a bounced
+	// in-flight payload).
+	Crashes     int
+	Evacuations int
+	FailBacks   int
 	// FinalRTT is the monitoring plane's mean round-trip estimate at the
 	// end of the run: spoke-daemon RTTs on the star, staleness-derived
 	// dissemination round trips on gossip fabrics.
@@ -113,9 +131,16 @@ func (r *Report) Render() string {
 		"policy", "makespan(s)", "slowdown", "xbase", "migrations",
 		"frozen(s)", "faults", "prefetched", "MB moved", "unfinished",
 	}
+	// Failure specs carry the SLO percentile and failure-event columns;
+	// legacy tables keep their exact shape.
+	failures := s.HasFailures()
+	if failures {
+		header = append(header,
+			"p50(s)", "p95(s)", "p99(s)", "crashes", "evacuated", "failbacks")
+	}
 	rows := make([][]string, 0, len(r.Schemes))
 	for _, st := range r.Schemes {
-		rows = append(rows, []string{
+		row := []string{
 			st.Policy,
 			fmt.Sprintf("%.1f", st.Makespan.Seconds()),
 			fmt.Sprintf("%.2f", st.MeanSlowdown),
@@ -126,7 +151,18 @@ func (r *Report) Render() string {
 			fmt.Sprint(st.PrefetchPages),
 			fmt.Sprintf("%.1f", float64(st.MigrationBytes)/1e6),
 			fmt.Sprint(st.Unfinished),
-		})
+		}
+		if failures {
+			row = append(row,
+				fmt.Sprintf("%.2f", st.SojournP50.Seconds()),
+				fmt.Sprintf("%.2f", st.SojournP95.Seconds()),
+				fmt.Sprintf("%.2f", st.SojournP99.Seconds()),
+				fmt.Sprint(st.Crashes),
+				fmt.Sprint(st.Evacuations),
+				fmt.Sprint(st.FailBacks),
+			)
+		}
+		rows = append(rows, row)
 	}
 
 	widths := make([]int, len(header))
@@ -176,6 +212,17 @@ func (r *Report) Render() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// sojournPercentile is the nearest-rank percentile (the smallest value
+// with at least q% of the sample at or below it) over an ascending slice
+// of sojourn latencies; callers guarantee a non-empty slice.
+func sojournPercentile(sorted []simtime.Duration, q int) simtime.Duration {
+	idx := (len(sorted)*q+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
 }
 
 // Baseline returns the no-migration statistics (the first row if the

@@ -43,6 +43,12 @@ func schemeFromJSON(sj schemeJSON) SchemeStats {
 		Unfinished:     sj.Unfinished,
 		FinalRTT:       simtime.FromSeconds(sj.FinalRTTMs / 1e3),
 		Events:         sj.Events,
+		SojournP50:     simtime.FromSeconds(sj.SojournP50S),
+		SojournP95:     simtime.FromSeconds(sj.SojournP95S),
+		SojournP99:     simtime.FromSeconds(sj.SojournP99S),
+		Crashes:        sj.Crashes,
+		Evacuations:    sj.Evacuations,
+		FailBacks:      sj.FailBacks,
 	}
 	for _, t := range sj.Tiers {
 		st.TierUse = append(st.TierUse, fabric.TierStats{

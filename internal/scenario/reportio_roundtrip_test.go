@@ -33,8 +33,23 @@ func randReport(rng *rand.Rand, idx int) *Report {
 		MeanFootprintMB: 1 + rng.Int63n(512),
 		Skew:            rng.Float64(),
 	}
+	failures := false
 	if rng.Intn(2) == 0 {
 		spec.Fabric = FabricSpec{Topology: fabric.KindTwoTier, RackSize: 2 + rng.Intn(6)}
+		// Half the switched specs carry failure churn, so the round trip
+		// covers the failure-plane event kinds, the evacuate knob and the
+		// extended CSV column set.
+		if rng.Intn(2) == 0 {
+			failures = true
+			v := rng.Intn(2)
+			spec.Churn = []ChurnEvent{
+				{At: 1 * simtime.Second, Kind: ChurnNodeCrash, Node: v},
+				{At: 2 * simtime.Second, Kind: ChurnLinkDown, Node: -1},
+				{At: 3 * simtime.Second, Kind: ChurnLinkUp, Node: -1},
+				{At: 4 * simtime.Second, Kind: ChurnNodeRecover, Node: v},
+			}
+			spec.Evacuate = rng.Intn(2) == 0
+		}
 	}
 	spec = spec.Canonical()
 	rep := &Report{
@@ -59,6 +74,14 @@ func randReport(rng *rand.Rand, idx int) *Report {
 			Unfinished:     rng.Intn(64),
 			FinalRTT:       randDuration(rng),
 			Events:         rng.Uint64(),
+		}
+		if failures {
+			st.SojournP50 = randDuration(rng)
+			st.SojournP95 = randDuration(rng)
+			st.SojournP99 = randDuration(rng)
+			st.Crashes = rng.Intn(16)
+			st.Evacuations = rng.Intn(256)
+			st.FailBacks = rng.Intn(64)
 		}
 		for tier := 0; tier < rng.Intn(3); tier++ {
 			st.TierUse = append(st.TierUse, fabric.TierStats{

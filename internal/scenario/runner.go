@@ -121,15 +121,32 @@ type proc struct {
 	frozen      bool
 	done        bool
 
+	// Failure-plane state. from is the source node of the migration in
+	// progress (the fail-back target while frozen); seq is bumped at every
+	// migrate and fail-back, so a payload delivery or scheduled unfreeze
+	// carrying a stale seq is a no-op; suspended parks the process off the
+	// tick lists while its node is crashed; restoring marks the window
+	// between payload delivery and unfreeze, when the migrant is already at
+	// its destination and only a crash of that destination can bounce it.
+	from      int
+	seq       uint64
+	suspended bool
+	restoring bool
+
 	freezeStart simtime.Time
 	finishAt    simtime.Time
 	migrations  int
 }
 
 // migMsg is the freeze-time payload of one migration in flight across the
-// interconnect; the fabric routes it along the topology path.
+// interconnect; the fabric routes it along the topology path. seq snapshots
+// the migrant's migration sequence at send time: a fail-back bumps the
+// sequence, so a payload that outlives its migration (crash or link failure
+// bounced the migrant while the bytes were in flight) arrives stale and is
+// ignored.
 type migMsg struct {
 	pid   int
+	seq   uint64
 	dest  int
 	bytes int64
 }
@@ -201,6 +218,12 @@ type clusterSim struct {
 
 	// candScratch is the per-decision candidate reuse buffer.
 	candScratch []*proc
+
+	// crashed marks the nodes currently down. Crash and recovery are global
+	// (merge-phase) events; shard events only read the flags, and the window
+	// barriers order those reads against the writes, so every shard count
+	// observes identical node liveness at identical virtual instants.
+	crashed []bool
 
 	// checkView, when set (tests only), observes every balance round's
 	// ground-truth view right after the incremental refresh — the hook the
@@ -299,6 +322,7 @@ func newClusterSimShards(spec Spec, scales []float64, tmpl []procTemplate, pol s
 		})
 	}
 	c.lv = newLiveView(c.nodes, spec.NodeMemMB, c.shardOf, c.shards)
+	c.crashed = make([]bool, spec.Nodes)
 
 	// The interconnect: topology, per-link queues and the monitoring
 	// plane (paired daemons on the star, gossip on switched fabrics). Its
@@ -359,6 +383,14 @@ func newClusterSimShards(spec Spec, scales []float64, tmpl []procTemplate, pol s
 		engOf(t.node).At(t.arriveAt, func() {
 			p.arrived = true
 			c.lv.arrive(p)
+			// An arrival on a crashed node parks until recovery — the node
+			// admits the process (it is resident) but cannot run it. The
+			// flags are written only by barrier-separated global events.
+			if c.crashed[p.node] {
+				p.suspended = true
+				p.pcb.State = cluster.ProcFrozen
+				c.lv.suspend(p)
+			}
 		})
 	}
 
@@ -382,6 +414,14 @@ func newClusterSimShards(spec Spec, scales []float64, tmpl []procTemplate, pol s
 			c.eng.Schedule(ev.At, func() { c.balloon(ev) })
 		case ChurnBurst:
 			// Burst processes were pre-drawn into the templates.
+		case ChurnNodeCrash:
+			c.eng.Schedule(ev.At, func() { c.crash(ev.Node) })
+		case ChurnNodeRecover:
+			c.eng.Schedule(ev.At, func() { c.recover(ev.Node) })
+		case ChurnLinkDown:
+			c.eng.Schedule(ev.At, func() { c.linkState(ev.Node, false) })
+		case ChurnLinkUp:
+			c.eng.Schedule(ev.At, func() { c.linkState(ev.Node, true) })
 		}
 	}
 
@@ -480,11 +520,20 @@ func (c *clusterSim) run() SchemeStats {
 		c.st.Makespan = simtime.Duration(end)
 	}
 
+	// Sojourn latencies (arrival → completion) feed the SLO percentiles,
+	// but only on specs that exercise the failure plane: legacy reports
+	// keep their exact shape, and the collection cost stays off the
+	// fast path.
+	var sojourns []simtime.Duration
+	collect := c.spec.HasFailures()
 	var slow float64
 	for _, p := range c.procs {
 		switch {
 		case p.done:
 			slow += float64(p.finishAt.Sub(p.t.arriveAt)) / float64(p.t.demand)
+			if collect {
+				sojourns = append(sojourns, p.finishAt.Sub(p.t.arriveAt))
+			}
 		case !p.arrived:
 			c.st.Unfinished++
 			slow += 1
@@ -494,6 +543,12 @@ func (c *clusterSim) run() SchemeStats {
 		}
 	}
 	c.st.MeanSlowdown = slow / float64(len(c.procs))
+	if len(sojourns) > 0 {
+		sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
+		c.st.SojournP50 = sojournPercentile(sojourns, 50)
+		c.st.SojournP95 = sojournPercentile(sojourns, 95)
+		c.st.SojournP99 = sojournPercentile(sojourns, 99)
+	}
 
 	c.st.FinalRTT = c.ic.MeanRTT()
 	// Every sequential event maps one-to-one onto a shard or global event
@@ -804,6 +859,8 @@ func (c *clusterSim) candidatesOn(node int) []*proc {
 // traffic and other migrations). The freeze ends when the payload lands,
 // plus the destination-side restore costs.
 func (c *clusterSim) migrate(p *proc, src, dst int) {
+	p.seq++
+	p.from = src
 	p.frozen = true
 	p.freezeStart = c.eng.Now()
 	p.node = dst
@@ -814,8 +871,16 @@ func (c *clusterSim) migrate(p *proc, src, dst int) {
 	c.st.Migrations++
 
 	bytes := c.freezeBytes(p)
+	if !c.ic.PathUp(src, dst) {
+		// Stale gossip steered the migrant at an unreachable destination.
+		// The freeze-time payload cannot be committed to the wire, so no
+		// migration bytes move: the migrant reverts to its source at once,
+		// the way an openMosix deputy keeps a process it cannot ship.
+		c.failBack(p)
+		return
+	}
 	c.st.MigrationBytes += bytes
-	m := migMsg{pid: p.t.id, dest: dst, bytes: bytes}
+	m := migMsg{pid: p.t.id, seq: p.seq, dest: dst, bytes: bytes}
 	c.ic.Send(src, dst, netmodel.Message{Size: bytes, Payload: m})
 }
 
@@ -838,13 +903,21 @@ func (c *clusterSim) deliver(node int, m migMsg) {
 	if node != m.dest {
 		panic(fmt.Sprintf("scenario: migration payload for node %d delivered to node %d", m.dest, node))
 	}
-	c.restore(c.procs[m.pid], m.dest)
+	p := c.procs[m.pid]
+	if m.seq != p.seq || !p.frozen || p.node != m.dest {
+		// The migration this payload belonged to was failed back while the
+		// bytes were in flight (destination crash or path failure); the
+		// process already resumed at its source.
+		return
+	}
+	c.restore(p, m.dest)
 }
 
 // restore finishes a migration at the destination: destination-side restore
 // costs, the AMPoM working-set stream (charged as continued unavailability
 // at the daemons' estimated bandwidth), and the prefetch census.
 func (c *clusterSim) restore(p *proc, dst int) {
+	p.restoring = true
 	cal := 65 * simtime.Millisecond // openMosix protocol base cost
 	pages := footprintPages(p.footprintMB)
 	// The PCB's home node is the template's origin by construction and is
@@ -868,7 +941,16 @@ func (c *clusterSim) restore(p *proc, dst int) {
 		c.st.HardFaults += hard
 		c.st.PrefetchPages += pref
 	}
-	c.eng.Schedule(cal+extra, func() { c.unfreeze(p) })
+	// The unfreeze is guarded by the migration sequence: if the destination
+	// crashes during the restore window the migrant fails back (bumping the
+	// sequence) and this event must land dead.
+	seq := p.seq
+	c.eng.Schedule(cal+extra, func() {
+		if p.seq != seq || !p.frozen {
+			return
+		}
+		c.unfreeze(p)
+	})
 }
 
 // remotePages decides whether a migrant rides the lightweight substrate —
@@ -886,6 +968,7 @@ func (c *clusterSim) remotePages(p *proc, bw float64) bool {
 // unfreeze resumes a restored migrant.
 func (c *clusterSim) unfreeze(p *proc) {
 	p.frozen = false
+	p.restoring = false
 	p.pcb.State = cluster.ProcRunning
 	c.lv.unfreeze(p)
 	c.st.FrozenTotal += c.eng.Now().Sub(p.freezeStart)

@@ -289,29 +289,69 @@ const (
 	// growing mid-run) — the dynamic pressure that exercises memory
 	// ushering beyond skewed arrival.
 	ChurnBalloon
+	// ChurnNodeCrash fails node Node at time At: its edge link goes down,
+	// its runnable residents lose their progress (or, with Spec.Evacuate,
+	// are migrated off before connectivity dies), and in-flight migrations
+	// that can no longer be delivered fail back to their sources. Requires
+	// a switched fabric.
+	ChurnNodeCrash
+	// ChurnNodeRecover brings a crashed node back at time At: its edge
+	// link comes up and its stranded residents resume (crash-killed ones
+	// from scratch, failed-back migrants from their checkpoints).
+	ChurnNodeRecover
+	// ChurnLinkDown fails one fabric link at time At: Node >= 0 is node
+	// Node's edge link, Node = -(r+1) is rack r's core uplink (two-tier
+	// only). A down link refuses new traffic at the switch; migrations
+	// that lose their route fail back to their sources.
+	ChurnLinkDown
+	// ChurnLinkUp repairs the link addressed the same way as ChurnLinkDown.
+	ChurnLinkUp
 )
+
+// churnKindNames is the single churn-kind registry: String, the JSON
+// codec's parser, validation's known-kind check and the CLI listing all
+// derive from it, so a kind added here cannot round-trip as unknown
+// anywhere else. Index == kind value.
+var churnKindNames = [...]string{
+	ChurnSlowNode:    "slow-node",
+	ChurnBurst:       "burst",
+	ChurnNetLoad:     "net-load",
+	ChurnBalloon:     "balloon",
+	ChurnNodeCrash:   "node-crash",
+	ChurnNodeRecover: "node-recover",
+	ChurnLinkDown:    "link-down",
+	ChurnLinkUp:      "link-up",
+}
+
+// ChurnKindNames lists every churn kind in declaration order.
+func ChurnKindNames() []string {
+	return append([]string(nil), churnKindNames[:]...)
+}
 
 // String names the kind.
 func (k ChurnKind) String() string {
-	switch k {
-	case ChurnSlowNode:
-		return "slow-node"
-	case ChurnBurst:
-		return "burst"
-	case ChurnNetLoad:
-		return "net-load"
-	case ChurnBalloon:
-		return "balloon"
-	default:
-		return fmt.Sprintf("ChurnKind(%d)", uint8(k))
+	if int(k) < len(churnKindNames) {
+		return churnKindNames[k]
 	}
+	return fmt.Sprintf("ChurnKind(%d)", uint8(k))
+}
+
+// failure reports whether the kind belongs to the failure plane — the
+// events under which reports grow sojourn percentiles and failure
+// counters, and which require a switched fabric.
+func (k ChurnKind) failure() bool {
+	switch k {
+	case ChurnNodeCrash, ChurnNodeRecover, ChurnLinkDown, ChurnLinkUp:
+		return true
+	}
+	return false
 }
 
 // ChurnEvent is one scheduled disturbance.
 type ChurnEvent struct {
 	At     simtime.Duration
 	Kind   ChurnKind
-	Node   int     // target node (ChurnNetLoad: -1 means every spoke)
+	Node   int     // target node (ChurnNetLoad: -1 means every spoke; ChurnLinkDown/Up: -(r+1) means rack r's uplink)
 	Factor float64 // ChurnSlowNode: CPU multiplier; ChurnNetLoad: load fraction; ChurnBalloon: footprint multiplier
 	Procs  int     // ChurnBurst: how many processes arrive
 }
@@ -379,6 +419,13 @@ type Spec struct {
 	// built-in constants. Zero keeps each policy's default (load-vector 3,
 	// queue-gossip 8); values of Nodes-1 or more mean full knowledge.
 	LoadVectorLen int
+	// Evacuate turns a ChurnNodeCrash into a drain: the crashing node's
+	// runnable residents are migrated to the least-loaded reachable nodes
+	// before its connectivity dies, with fail-back to the (crashed) source
+	// when a freeze-time payload cannot be delivered — juju's
+	// model-migration semantics. Without it a crash costs the residents
+	// their progress until the node recovers.
+	Evacuate bool
 
 	// BalancePeriod is the load balancer's decision interval (default 1 s);
 	// CostThreshold its safety factor (default 1.25).
@@ -581,11 +628,57 @@ func (s Spec) validateShape() error {
 			if c.Factor <= 0 {
 				return fmt.Errorf("scenario: churn[%d] balloon factor %g must be positive", i, c.Factor)
 			}
+		case ChurnNodeCrash, ChurnNodeRecover:
+			// The failure plane models link state and reachability, which the
+			// legacy hub-spoke star does not have.
+			if s.Fabric.IsDefault() {
+				return fmt.Errorf("scenario: churn[%d] %s requires a switched fabric (two-tier or flat)", i, c.Kind)
+			}
+			if c.Node < 0 || c.Node >= s.Nodes {
+				return fmt.Errorf("scenario: churn[%d] %s targets node %d of %d", i, c.Kind, c.Node, s.Nodes)
+			}
+		case ChurnLinkDown, ChurnLinkUp:
+			if s.Fabric.IsDefault() {
+				return fmt.Errorf("scenario: churn[%d] %s requires a switched fabric (two-tier or flat)", i, c.Kind)
+			}
+			if c.Node >= s.Nodes {
+				return fmt.Errorf("scenario: churn[%d] %s targets node %d of %d", i, c.Kind, c.Node, s.Nodes)
+			}
+			if c.Node < 0 {
+				racks := 0
+				if s.Fabric.Topology == fabric.KindTwoTier && s.Fabric.RackSize > 0 {
+					racks = (s.Nodes + s.Fabric.RackSize - 1) / s.Fabric.RackSize
+				}
+				if r := -c.Node - 1; r >= racks {
+					return fmt.Errorf("scenario: churn[%d] %s targets uplink of rack %d of %d", i, c.Kind, r, racks)
+				}
+			}
 		default:
 			return fmt.Errorf("scenario: churn[%d] unknown kind %v", i, c.Kind)
 		}
 	}
+	if s.Evacuate {
+		crash := false
+		for _, c := range s.Churn {
+			crash = crash || c.Kind == ChurnNodeCrash
+		}
+		if !crash {
+			return fmt.Errorf("scenario: evacuate set without any node-crash churn")
+		}
+	}
 	return nil
+}
+
+// HasFailures reports whether the spec schedules failure-plane churn
+// (node crashes/recoveries, link transitions) — the condition under which
+// reports carry sojourn-latency percentiles and failure counters.
+func (s Spec) HasFailures() bool {
+	for _, c := range s.Churn {
+		if c.Kind.failure() {
+			return true
+		}
+	}
+	return false
 }
 
 // Fingerprint returns the canonical cache/seed key: a pure function of
@@ -626,6 +719,9 @@ func (s Spec) Fingerprint() string {
 	if s.LoadVectorLen > 0 {
 		fmt.Fprintf(&b, "|l=%d", s.LoadVectorLen)
 	}
+	if s.Evacuate {
+		b.WriteString("|evac=1")
+	}
 	return b.String()
 }
 
@@ -643,7 +739,7 @@ func (s Spec) String() string {
 
 // PresetNames lists the built-in scenarios in presentation order.
 func PresetNames() []string {
-	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks", "rack-farm", "gossip-mesh", "mega-farm", "giga-farm"}
+	return []string{"hpc-farm", "web-churn", "hetero-burst", "mpi-ranks", "rack-farm", "rack-farm-failures", "gossip-mesh", "mega-farm", "giga-farm"}
 }
 
 // Preset returns a named built-in scenario. The names model the cluster
@@ -770,6 +866,32 @@ func Preset(name string) (Spec, error) {
 				{Kind: MixBlocked, Weight: 1},
 			},
 		}.Canonical(), nil
+	case "rack-farm-failures":
+		// The failure-realism acceptance scenario: the rack-farm shape with
+		// things actually breaking. Two nodes crash back to back — the
+		// second while the first one's evacuation payloads are still in
+		// flight, so some migrants demonstrably fail back to their (dead)
+		// source and strand until recovery — a rack uplink flaps while
+		// stale gossip still routes migrations through it, and both nodes
+		// come back before the batch drains. Evacuation is on: a crash
+		// drains its runnable residents instead of discarding their
+		// progress. Low node indices keep the script valid when the preset
+		// is shrunk with -nodes.
+		spec, err := Preset("rack-farm")
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Name = "rack-farm-failures"
+		spec.Evacuate = true
+		spec.Churn = []ChurnEvent{
+			{At: 3 * simtime.Second, Kind: ChurnNodeCrash, Node: 5},
+			{At: 3*simtime.Second + 40*simtime.Millisecond, Kind: ChurnNodeCrash, Node: 9},
+			{At: 5 * simtime.Second, Kind: ChurnLinkDown, Node: -2},
+			{At: 8 * simtime.Second, Kind: ChurnLinkUp, Node: -2},
+			{At: 10 * simtime.Second, Kind: ChurnNodeRecover, Node: 9},
+			{At: 12 * simtime.Second, Kind: ChurnNodeRecover, Node: 5},
+		}
+		return spec.Canonical(), nil
 	case "gossip-mesh":
 		// A flat full-bisection fabric whose monitoring is pure gossip: a
 		// skewed burst lands on a 96-node mesh and the balancer policies
