@@ -139,10 +139,13 @@ func (c *clusterSim) kill(p *proc) {
 // which an evacuation payload legitimately leaves through just before it
 // drops — can no longer deliver. Any such payload the fabric later drops
 // (or, rarely, still delivers over a path that healed around the check)
-// was bounced here first and arrives sequence-stale.
+// was bounced here first and arrives sequence-stale. A suspended frozen
+// migrant has already failed back and parked on its crashed source — it
+// is no longer in flight, so later down-transitions must not bounce it
+// again (a migrant restores or fails back exactly once).
 func (c *clusterSim) bounceSweep() {
 	for _, p := range c.procs {
-		if p.frozen && !p.restoring && (c.crashed[p.node] || !c.ic.DestReachable(p.from, p.node)) {
+		if p.frozen && !p.restoring && !p.suspended && (c.crashed[p.node] || !c.ic.DestReachable(p.from, p.node)) {
 			c.failBack(p)
 		}
 	}

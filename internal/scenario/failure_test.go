@@ -133,6 +133,40 @@ func TestCrashMidRestoreFailsBack(t *testing.T) {
 	}
 }
 
+// TestFailBackExactlyOnce locks the "a migrant restores or fails back
+// exactly once" invariant: once a migrant has failed back and parked
+// suspended on its crashed source, later down-transitions must not sweep
+// it up again. The probe is the TestCrashMidRestoreFailsBack script plus a
+// failure-irrelevant rack-1 uplink flap while the migrants are parked —
+// FailBacks and FrozenTotal must be byte-for-byte what the flap-free run
+// records (a re-bounced migrant would inflate both).
+func TestFailBackExactlyOnce(t *testing.T) {
+	script := []ChurnEvent{
+		{At: 10 * simtime.Second, Kind: ChurnNodeCrash, Node: 0},
+		{At: 10*simtime.Second + 30*simtime.Millisecond, Kind: ChurnNodeCrash, Node: 1},
+		{At: 14 * simtime.Second, Kind: ChurnNodeRecover, Node: 0},
+		{At: 15 * simtime.Second, Kind: ChurnNodeRecover, Node: 1},
+	}
+	flap := append(append([]ChurnEvent(nil), script...),
+		ChurnEvent{At: 11 * simtime.Second, Kind: ChurnLinkDown, Node: -2},
+		ChurnEvent{At: 12 * simtime.Second, Kind: ChurnLinkUp, Node: -2},
+	)
+	base := mustScheme(t, MustRun(failureTestSpec(script, true), 7), "no-migration")
+	got := mustScheme(t, MustRun(failureTestSpec(flap, true), 7), "no-migration")
+	if base.FailBacks == 0 {
+		t.Fatal("baseline recorded no fail-backs — the scenario shape regressed")
+	}
+	if got.FailBacks != base.FailBacks {
+		t.Errorf("unrelated link flap changed FailBacks: %d, want %d", got.FailBacks, base.FailBacks)
+	}
+	if got.FrozenTotal != base.FrozenTotal {
+		t.Errorf("unrelated link flap changed FrozenTotal: %v, want %v", got.FrozenTotal, base.FrozenTotal)
+	}
+	if got.Unfinished != 0 {
+		t.Fatalf("lost %d processes", got.Unfinished)
+	}
+}
+
 // TestLinkDownBouncesInFlight locks route re-convergence: a rack uplink
 // drops while stale gossip still steers cross-rack migrations through it,
 // so the balancer's in-flight and freshly admitted migrants fail back to
